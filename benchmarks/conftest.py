@@ -1,0 +1,20 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure from the paper
+(DESIGN.md §4 maps them).  ``REPRO_TRACE_LEN`` scales the dynamic trace
+length per simulation; the default keeps the full suite in the
+tens-of-minutes range on a laptop while preserving every figure shape.
+Raise it (e.g. 30000) for smoother numbers.
+"""
+
+import os
+
+#: instructions per simulation in the benchmark suite
+BENCH_LENGTH = int(os.environ.get("REPRO_TRACE_LEN", "8000"))
+
+
+def emit(result):
+    """Print an experiment's table so it lands in the benchmark log."""
+    print()
+    print(result.format_table())
+    return result

@@ -1,0 +1,30 @@
+"""E9 — Section 5.4 (in text): DFCM-3 versus the Wang-Franklin hybrid.
+
+"Our results with this predictor were not as good as our Wang-Franklin
+predictor ... it is in general a more aggressive predictor — making more
+correct predictions and more incorrect predictions."
+"""
+
+from repro.harness import sec54_dfcm_vs_wf
+
+from benchmarks.conftest import BENCH_LENGTH, emit
+
+
+def test_sec54_dfcm_vs_wf(benchmark):
+    result = benchmark.pedantic(
+        lambda: sec54_dfcm_vs_wf(length=BENCH_LENGTH), rounds=1, iterations=1
+    )
+    emit(result)
+    # The mechanism the paper reports, which the model reproduces exactly:
+    # DFCM is the more aggressive predictor — more predictions made, more
+    # of them wrong.  (Documented deviation: in the paper that aggression
+    # nets out *behind* the W-F hybrid; in this model misprediction
+    # recovery is cheap relative to the 1000-cycle loads being hidden, so
+    # the extra coverage nets out ahead — see EXPERIMENTS.md.)
+    dfcm_preds = sum(r["dfcm preds"] for r in result.rows)
+    wf_preds = sum(r["wf preds"] for r in result.rows)
+    assert dfcm_preds > wf_preds
+    # both predictors must still deliver positive MTVP gains on average
+    s = result.summary
+    assert s["mtvp8 wf geomean INT %"] > 0.0
+    assert s["mtvp8 dfcm geomean INT %"] > 0.0

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Case study: why wide windows fail on pointer chases and MTVP does not.
+
+Builds the scenario from Section 5.7 by hand — a linked-list traversal
+where every node access depends on the previous node's value — and runs it
+against four machines:
+
+* the Table 1 baseline,
+* an idealized 8192-entry-window "checkpoint" machine,
+* STVP,
+* MTVP with 8 threads.
+
+A wide window cannot overlap serial misses (each address is unknown until
+the previous load returns); value prediction breaks exactly that
+dependence.  This is the paper's central argument against checkpoint
+architectures on integer codes.
+
+Run:  python examples/pointer_chase_study.py
+"""
+
+from repro import (
+    AlwaysSelector,
+    Engine,
+    InstructionBuilder,
+    MachineConfig,
+    OraclePredictor,
+)
+
+NODES = 40
+WORK_PER_NODE = 100
+PTR_REG = 1
+
+
+def build_chase_trace():
+    """`node = node->next` over NODES cold nodes, with per-node work.
+
+    Node addresses are scattered pseudo-randomly across a huge region so
+    no prefetcher can follow the chase — exactly the situation the paper's
+    integer benchmarks put the machine in.
+    """
+    import random
+
+    rng = random.Random(42)
+    ib = InstructionBuilder()
+    trace = []
+    for i in range(NODES):
+        node_addr = (1 << 33) + rng.randrange(0, 1 << 28, 64)
+        # the pointer load: address register is its own destination, so the
+        # traversal is one serial chain; every node misses to memory
+        trace.append(
+            ib.load(
+                dst=PTR_REG,
+                srcs=(PTR_REG,),
+                addr=node_addr,
+                value=1000 + i,  # the next pointer: what MTVP predicts
+                pc=0x4000,
+            )
+        )
+        # per-node work: a field read off the pointer plus independent ALU
+        trace.append(
+            ib.load(dst=2, srcs=(PTR_REG,), addr=node_addr + 64, value=7, pc=0x4010)
+        )
+        for k in range(WORK_PER_NODE):
+            trace.append(ib.int_alu(dst=3 + (k % 8), srcs=(2,)))
+    return trace
+
+
+def main():
+    trace = build_chase_trace()
+    machines = {
+        "baseline (256-entry ROB)": (MachineConfig.hpca05_baseline(warm_caches=False), None),
+        "wide window (8K ROB)": (MachineConfig.wide_window(warm_caches=False), None),
+        "STVP": (MachineConfig.stvp(warm_caches=False), OraclePredictor()),
+        "MTVP x8": (MachineConfig.mtvp(8, warm_caches=False), OraclePredictor()),
+    }
+    print(f"serial pointer chase: {NODES} nodes, all missing to memory\n")
+    base = None
+    for name, (config, predictor) in machines.items():
+        engine = Engine(list(trace), config, predictor=predictor,
+                        selector=AlwaysSelector())
+        stats = engine.run()
+        if base is None:
+            base = stats.useful_ipc
+        print(
+            f"{name:28s} IPC {stats.useful_ipc:6.3f}  "
+            f"({100 * (stats.useful_ipc / base - 1):+7.1f}%)  "
+            f"cycles {stats.cycles:7d}  spawns {stats.spawns}"
+        )
+    print()
+    print("The wide window buys almost nothing: the next address simply is")
+    print("not known until the previous load returns.  Predicting the loaded")
+    print("pointer VALUE breaks the chain — and running the speculative")
+    print("stream in its own thread lets it commit ahead (MTVP).")
+
+
+if __name__ == "__main__":
+    main()

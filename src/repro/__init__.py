@@ -1,0 +1,125 @@
+"""repro — a reproduction of "Multithreaded Value Prediction".
+
+Tuck & Tullsen, HPCA-11, 2005.
+
+The package implements threaded value prediction (MTVP) on a trace-driven
+SMT out-of-order timing model, together with every substrate the paper's
+evaluation depends on: the Table 1 memory hierarchy with a stream-buffer
+stride prefetcher, a 2bcgskew branch predictor, Wang–Franklin / DFCM /
+oracle value predictors, the ILP-pred load selector, the tagged speculative
+store buffer, and a synthetic SPEC CPU2000 workload suite.
+
+Quickstart::
+
+    from repro import MachineConfig, simulate
+    from repro.workloads import get_workload
+
+    workload = get_workload("mcf")
+    base = simulate(workload, MachineConfig.hpca05_baseline())
+    mtvp = simulate(workload, MachineConfig.mtvp(threads=8))
+    print(f"speedup {mtvp.useful_ipc / base.useful_ipc:.2f}x")
+"""
+
+from repro.core import Engine, FetchPolicy, MachineConfig, SimMode, SimStats
+from repro.isa import Instruction, InstructionBuilder, OpClass
+from repro.select import (
+    AlwaysSelector,
+    IlpCommitSelector,
+    IlpPredSelector,
+    LoadSelector,
+    MissOracleSelector,
+    PredictionKind,
+)
+from repro.vp import (
+    DfcmPredictor,
+    LastValuePredictor,
+    OraclePredictor,
+    StridePredictor,
+    ValuePredictor,
+    WangFranklinPredictor,
+)
+from repro.workloads import Workload, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlwaysSelector",
+    "DfcmPredictor",
+    "Engine",
+    "FetchPolicy",
+    "IlpCommitSelector",
+    "IlpPredSelector",
+    "Instruction",
+    "InstructionBuilder",
+    "LastValuePredictor",
+    "LoadSelector",
+    "MachineConfig",
+    "MissOracleSelector",
+    "OpClass",
+    "OraclePredictor",
+    "PredictionKind",
+    "SimMode",
+    "SimStats",
+    "StridePredictor",
+    "ValuePredictor",
+    "WangFranklinPredictor",
+    "Workload",
+    "get_workload",
+    "simulate",
+    "workload_names",
+]
+
+
+def simulate(
+    workload_or_trace,
+    config: MachineConfig,
+    predictor: ValuePredictor | None = None,
+    selector: LoadSelector | None = None,
+    length: int | None = None,
+    seed: int = 0,
+) -> SimStats:
+    """Run one simulation and return its statistics.
+
+    Args:
+        workload_or_trace: A :class:`~repro.workloads.Workload`, a workload
+            name from the modeled suite, or an explicit instruction list.
+        config: Machine configuration (see :class:`MachineConfig` presets).
+        predictor: Value predictor; defaults to the oracle predictor.
+        selector: Load selector; defaults to :class:`AlwaysSelector`.
+        length: Trace length when a workload is given (defaults to the
+            workload's own ``default_length``).
+        seed: Dynamic-stream seed when a workload is given.
+
+    Returns:
+        The populated :class:`SimStats` for the run.
+    """
+    if isinstance(workload_or_trace, str):
+        workload_or_trace = get_workload(workload_or_trace)
+    warm_addresses = None
+    if isinstance(workload_or_trace, Workload):
+        trace = workload_or_trace.trace(length=length, seed=seed)
+        if config.warm_caches:
+            warm_addresses = _steady_state_footprint(workload_or_trace, config)
+    else:
+        trace = list(workload_or_trace)
+    engine = Engine(
+        trace, config, predictor=predictor, selector=selector,
+        warm_addresses=warm_addresses,
+    )
+    return engine.run()
+
+
+def _steady_state_footprint(workload: Workload, config: MachineConfig) -> list[int]:
+    """Addresses a long-running execution would keep resident.
+
+    Streams whose region fits in the L3 are fully warm in steady state;
+    larger regions walked without revisits are as cold at the SimPoint as
+    at startup, so they are left untouched.
+    """
+    addresses: list[int] = []
+    for base, region_bytes in workload.stream_regions():
+        if region_bytes <= config.l3_size:
+            addresses.extend(
+                base + off for off in range(0, region_bytes, config.line_size)
+            )
+    return addresses

@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``workloads`` — list the modeled SPEC CPU2000 suite,
+* ``run`` — simulate one workload on one machine and print the stats,
+* ``experiment`` — regenerate a paper artifact (table/figure),
+* ``trace`` — write a workload's instruction trace to a binary file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    DfcmPredictor,
+    IlpCommitSelector,
+    IlpPredSelector,
+    MachineConfig,
+    MissOracleSelector,
+    OraclePredictor,
+    WangFranklinPredictor,
+    simulate,
+)
+from repro.select import AlwaysSelector
+from repro.workloads import get_workload, workload_names
+
+PREDICTORS = {
+    "oracle": OraclePredictor,
+    "wang-franklin": WangFranklinPredictor,
+    "dfcm": DfcmPredictor,
+}
+SELECTORS = {
+    "ilp-pred": IlpPredSelector,
+    "ilp-commit": IlpCommitSelector,
+    "miss-oracle": MissOracleSelector,
+    "always": AlwaysSelector,
+}
+MACHINES = {
+    "baseline": lambda threads: MachineConfig.hpca05_baseline(),
+    "stvp": lambda threads: MachineConfig.stvp(),
+    "mtvp": lambda threads: MachineConfig.mtvp(threads),
+    "cmp": lambda threads: MachineConfig.cmp(threads),
+    "spawn-only": lambda threads: MachineConfig.spawn_only(threads),
+    "wide-window": lambda threads: MachineConfig.wide_window(),
+}
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    for name in workload_names(args.suite):
+        wl = get_workload(name)
+        print(f"{name:10s} [{wl.suite}] {wl.spec.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = MACHINES[args.machine](args.threads)
+    stats = simulate(
+        args.workload,
+        config,
+        predictor=PREDICTORS[args.predictor](),
+        selector=SELECTORS[args.selector](),
+        length=args.length,
+        seed=args.seed,
+    )
+    print(f"{args.workload} on {args.machine} ({args.threads} threads)")
+    print(stats.summary())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.harness import EXPERIMENTS
+    from repro.harness.export import result_to_csv, result_to_json
+
+    if args.id not in EXPERIMENTS:
+        print(f"unknown experiment {args.id!r}; known: {', '.join(EXPERIMENTS)}")
+        return 1
+    result = EXPERIMENTS[args.id](length=args.length)
+    print(result.format_table())
+    if args.json:
+        result_to_json(result, args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        result_to_csv(result, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.io import save_trace
+
+    trace = get_workload(args.workload).trace(length=args.length, seed=args.seed)
+    save_trace(trace, args.output)
+    print(f"wrote {len(trace)} instructions to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Multithreaded Value Prediction' (HPCA 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("workloads", help="list the modeled SPEC CPU2000 suite")
+    p.add_argument("--suite", choices=["int", "fp"], default=None)
+    p.set_defaults(func=_cmd_workloads)
+
+    p = sub.add_parser("run", help="simulate one workload on one machine")
+    p.add_argument("workload")
+    p.add_argument("--machine", choices=sorted(MACHINES), default="mtvp")
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--predictor", choices=sorted(PREDICTORS), default="wang-franklin")
+    p.add_argument("--selector", choices=sorted(SELECTORS), default="ilp-pred")
+    p.add_argument("--length", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("id")
+    p.add_argument("--length", type=int, default=None)
+    p.add_argument("--json", default=None, help="also write JSON to this path")
+    p.add_argument("--csv", default=None, help="also write CSV to this path")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("trace", help="write a workload trace to a binary file")
+    p.add_argument("workload")
+    p.add_argument("output")
+    p.add_argument("--length", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Branch predictors.
+
+Table 1 of the paper specifies a 2bcgskew predictor with 64K-entry meta and
+gshare tables and a 16K-entry bimodal table.  We implement the component
+predictors (bimodal, gshare) and the 2bcgskew hybrid built from them.
+
+Tables are shared between hardware contexts (as on a real SMT); global
+history is per-context state owned by the pipeline, threaded through the
+``history`` argument, so a spawned thread can inherit its parent's history
+with a simple copy.
+"""
+
+from repro.branch.predictors import (
+    BimodalPredictor,
+    BranchPredictor,
+    GsharePredictor,
+    TwoBcGskewPredictor,
+    update_history,
+)
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchPredictor",
+    "GsharePredictor",
+    "TwoBcGskewPredictor",
+    "update_history",
+]

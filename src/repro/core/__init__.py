@@ -1,0 +1,19 @@
+"""Core simulation: machine config, thread contexts, the MTVP engine."""
+
+from repro.core.allocators import PortedIssue, SlotAllocator
+from repro.core.config import FetchPolicy, MachineConfig, SimMode
+from repro.core.context import ThreadContext
+from repro.core.engine import Engine, SpawnRecord
+from repro.core.stats import SimStats
+
+__all__ = [
+    "Engine",
+    "FetchPolicy",
+    "MachineConfig",
+    "PortedIssue",
+    "SimMode",
+    "SimStats",
+    "SlotAllocator",
+    "SpawnRecord",
+    "ThreadContext",
+]

@@ -1,0 +1,92 @@
+"""Cycle-granular bandwidth allocators shared between SMT contexts.
+
+The timestamp-based pipeline has no central clock, so structural bandwidth
+(issue ports, shared fetch in the no-stall policy) is arbitrated by these
+allocators: ``acquire(t)`` books the earliest cycle at or after ``t`` with a
+free slot.  Contexts are stepped in approximate time order by the engine,
+so bookings arrive nearly monotonically and the search loop is short.
+"""
+
+from __future__ import annotations
+
+
+class SlotAllocator:
+    """Books up to ``capacity`` events per cycle.
+
+    Sparse dict from cycle to booked count; entries older than the pruning
+    horizon are dropped opportunistically so memory stays bounded over long
+    simulations.
+    """
+
+    def __init__(self, capacity: int, name: str = "slots") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.name = name
+        self._booked: dict[int, int] = {}
+        self._min_interesting = 0
+        self.acquired = 0
+
+    def acquire(self, t: int) -> int:
+        """Book one slot at the earliest cycle >= ``t``; returns that cycle."""
+        cycle = int(t)
+        booked = self._booked
+        while booked.get(cycle, 0) >= self.capacity:
+            cycle += 1
+        booked[cycle] = booked.get(cycle, 0) + 1
+        self.acquired += 1
+        if len(booked) > 1 << 16:
+            self._prune(cycle)
+        return cycle
+
+    def peek(self, t: int) -> int:
+        """Earliest cycle >= ``t`` with a free slot, without booking it."""
+        cycle = int(t)
+        while self._booked.get(cycle, 0) >= self.capacity:
+            cycle += 1
+        return cycle
+
+    def _prune(self, now: int) -> None:
+        horizon = now - (1 << 14)
+        for cycle in [c for c in self._booked if c < horizon]:
+            del self._booked[cycle]
+
+    def booked_at(self, t: int) -> int:
+        """How many slots are already booked in cycle ``t`` (for tests)."""
+        return self._booked.get(int(t), 0)
+
+
+class PortedIssue:
+    """Issue bandwidth: per-class port limits under a global width cap.
+
+    Table 1: "8 instructions per cycle, up to 6 Integer, 2 FP, 4
+    load/store".  ``acquire`` books one slot in both the class allocator
+    and the global allocator at a common cycle.
+    """
+
+    def __init__(self, total: int = 8, int_ports: int = 6, fp_ports: int = 2,
+                 mem_ports: int = 4) -> None:
+        self._total = SlotAllocator(total, "issue-total")
+        self._classes = {
+            "int": SlotAllocator(int_ports, "issue-int"),
+            "fp": SlotAllocator(fp_ports, "issue-fp"),
+            "mem": SlotAllocator(mem_ports, "issue-mem"),
+        }
+
+    def acquire(self, port: str, t: int) -> int:
+        """Book an issue slot of class ``port`` at or after ``t``."""
+        class_alloc = self._classes[port]
+        cycle = int(t)
+        while True:
+            cycle = class_alloc.peek(cycle)
+            total_cycle = self._total.peek(cycle)
+            if total_cycle == cycle:
+                class_alloc.acquire(cycle)
+                self._total.acquire(cycle)
+                return cycle
+            cycle = total_cycle
+
+    @property
+    def issued(self) -> int:
+        """Total issue slots booked."""
+        return self._total.acquired

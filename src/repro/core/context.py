@@ -1,0 +1,151 @@
+"""Per-hardware-context state for the timestamp pipeline."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.isa import NUM_LOGICAL_REGS
+
+
+class ThreadContext:
+    """One SMT hardware context executing a window of the trace.
+
+    A context owns everything the paper replicates per thread: the logical
+    register map (here, per-register *ready times* — values live in the
+    trace), its reorder buffer, fetch stream state, branch history, and the
+    bookkeeping used for confirmation and kill (spawn order, visibility set
+    for the tagged store buffer, parent/children links).
+
+    Attributes of note:
+        order: Monotonic spawn order; the store-buffer tag from Section 3.3.
+        visible: Spawn orders whose buffered stores this thread may consume
+            (its ancestors and itself).
+        arch_limit: Trace position of the load this context spawned on.
+            Commits at or before this position are architectural when the
+            context is (or becomes) non-speculative; commits beyond it
+            belong to the doomed parent path (no-stall fetch policy only).
+    """
+
+    __slots__ = (
+        "slot",
+        "order",
+        "pos",
+        "start_pos",
+        "speculative",
+        "parent",
+        "children",
+        "spawn_record_as_child",
+        "reg_ready",
+        "visible",
+        "rob",
+        "last_fetch",
+        "last_commit",
+        "commit_cycle",
+        "commits_in_cycle",
+        "bhist",
+        "fetched_count",
+        "within_commits",
+        "beyond_commits",
+        "last_within_commit",
+        "arch_limit",
+        "pending_spawn",
+        "alive",
+        "blocked",
+        "sb_paused",
+        "done",
+        "resume_at",
+        "pending_measures",
+    )
+
+    def __init__(
+        self,
+        slot: int,
+        order: int,
+        pos: int,
+        start_time: int = 0,
+        parent: "ThreadContext | None" = None,
+        speculative: bool = False,
+    ) -> None:
+        self.slot = slot
+        self.order = order
+        self.pos = pos
+        self.start_pos = pos
+        self.speculative = speculative
+        self.parent = parent
+        self.children: list[ThreadContext] = []
+        #: the spawn record in which this context is (currently) the child
+        self.spawn_record_as_child = None
+        if parent is None:
+            self.reg_ready = [0] * NUM_LOGICAL_REGS
+            self.visible: tuple[int, ...] = (order,)
+            self.bhist = 0
+        else:
+            # flash register-map copy (Section 3.2): ready times carry over
+            self.reg_ready = parent.reg_ready.copy()
+            self.visible = parent.visible + (order,)
+            self.bhist = parent.bhist
+        self.rob: deque[int] = deque()
+        self.last_fetch = start_time
+        self.last_commit = start_time
+        self.commit_cycle = -1
+        self.commits_in_cycle = 0
+        self.fetched_count = 0
+        self.within_commits = 0
+        self.beyond_commits = 0
+        self.last_within_commit = start_time
+        self.arch_limit: int | None = None
+        #: True while this thread's own value-predicted spawn is unresolved;
+        #: each thread tracks at most one outstanding spawn (the paper's
+        #: single-entry child table)
+        self.pending_spawn = False
+        self.alive = True
+        self.blocked = False
+        self.sb_paused = False
+        self.done = False
+        self.resume_at = start_time
+        #: deferred ILP-pred episodes: (pc, kind, start_t, end_t, start_count)
+        self.pending_measures: list[tuple[int, int, int, int, int]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def runnable(self) -> bool:
+        """True when the scheduler may step this context."""
+        return self.alive and not (self.blocked or self.sb_paused or self.done)
+
+    @property
+    def next_time_hint(self) -> int:
+        """Approximate time of the next instruction (scheduler ordering key)."""
+        return self.last_fetch if self.last_fetch > self.resume_at else self.resume_at
+
+    def commit_slot(self, t: int, width: int) -> int:
+        """In-order commit with per-thread commit bandwidth.
+
+        Returns the cycle this instruction commits: at or after ``t``, not
+        before the previous commit, at most ``width`` per cycle.
+        """
+        cycle = t if t > self.last_commit else self.last_commit
+        if cycle == self.commit_cycle:
+            if self.commits_in_cycle >= width:
+                cycle += 1
+                self.commit_cycle = cycle
+                self.commits_in_cycle = 1
+            else:
+                self.commits_in_cycle += 1
+        else:
+            self.commit_cycle = cycle
+            self.commits_in_cycle = 1
+        self.last_commit = cycle
+        return cycle
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            f
+            for f, on in (
+                ("S", self.speculative),
+                ("B", self.blocked),
+                ("P", self.sb_paused),
+                ("D", self.done),
+            )
+            if on
+        )
+        return f"ThreadContext(slot={self.slot}, order={self.order}, pos={self.pos}, {flags})"

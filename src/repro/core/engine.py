@@ -1,0 +1,820 @@
+"""The threaded-value-prediction execution engine.
+
+This is the reproduction's SMTSIM stand-in: a trace-driven, timestamp-based
+out-of-order timing model with the thread-spawning machinery of Sections
+3.2/3.3 layered on top.  See DESIGN.md §2 for the modeling approach and its
+documented fidelity compromises.
+
+The engine steps hardware contexts in approximate time order.  Each step
+computes one instruction's fetch/queue/issue/complete/commit timestamps
+under window, rename, queue and issue-port constraints; loads consult the
+store buffer and the cache hierarchy, and may trigger a value prediction.
+Value-predicted loads either mark their destination early-ready (STVP) or
+spawn a speculative context (MTVP / spawn-only).  A heap of pending spawn
+records is resolved as the predicted loads complete, confirming or killing
+speculative threads.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.branch import TwoBcGskewPredictor, update_history
+from repro.core.allocators import PortedIssue, SlotAllocator
+from repro.core.config import FetchPolicy, MachineConfig, SimMode
+from repro.core.context import ThreadContext
+from repro.core.stats import SimStats
+from repro.isa import EXEC_LATENCY, Instruction, OpClass
+from repro.memory import Cache, MemLevel, MemoryHierarchy, StoreBuffer, StridePrefetcher
+from repro.select import AlwaysSelector, LoadSelector, PredictionKind
+from repro.vp import ValuePredictor
+from repro.vp.oracle import OraclePredictor
+
+
+class SpawnRecord:
+    """A pending threaded value prediction awaiting its load's return."""
+
+    __slots__ = (
+        "resolve_time",
+        "parent",
+        "children",
+        "actual",
+        "pc",
+        "start_time",
+        "start_global",
+        "load_commit_time",
+        "kind",
+        "void",
+    )
+
+    def __init__(
+        self,
+        resolve_time: int,
+        parent: ThreadContext,
+        actual: int,
+        pc: int,
+        start_time: int,
+        kind: SimMode,
+    ) -> None:
+        self.resolve_time = resolve_time
+        self.parent = parent
+        #: (context, predicted value) per spawned alternative
+        self.children: list[tuple[ThreadContext, int]] = []
+        self.actual = actual
+        self.pc = pc
+        self.start_time = start_time
+        #: processor-wide fetched count at prediction time (ILP-pred metric)
+        self.start_global = 0
+        self.load_commit_time = 0
+        self.kind = kind
+        self.void = False
+
+
+class Engine:
+    """Runs one trace through one machine configuration.
+
+    Args:
+        trace: Dynamic instruction sequence (see :mod:`repro.workloads`).
+        config: Machine parameters and simulation mode.
+        predictor: Load value predictor; defaults to the oracle.
+        selector: Load selector; defaults to :class:`AlwaysSelector`.
+    """
+
+    def __init__(
+        self,
+        trace: list[Instruction],
+        config: MachineConfig,
+        predictor: ValuePredictor | None = None,
+        selector: LoadSelector | None = None,
+        warm_addresses=None,
+    ) -> None:
+        if not trace:
+            raise ValueError("trace must not be empty")
+        self.trace = trace
+        self.config = config
+        self.predictor = predictor if predictor is not None else OraclePredictor()
+        self.selector = selector if selector is not None else AlwaysSelector()
+        self.stats = SimStats()
+
+        prefetcher = None
+        if config.prefetch_enabled:
+            prefetcher = StridePrefetcher(
+                table_entries=config.prefetch_entries,
+                num_streams=config.prefetch_streams,
+                depth=config.prefetch_depth,
+                line_size=config.line_size,
+                fill_latency=config.prefetch_fill_latency,
+                hit_latency=config.l1_latency + 2,
+            )
+        self.hierarchy = MemoryHierarchy(
+            l1=Cache(config.l1_size, config.l1_assoc, config.line_size,
+                     config.l1_latency, "L1D"),
+            l2=Cache(config.l2_size, config.l2_assoc, config.line_size,
+                     config.l2_latency, "L2"),
+            l3=Cache(config.l3_size, config.l3_assoc, config.line_size,
+                     config.l3_latency, "L3"),
+            mem_latency=config.mem_latency,
+            prefetcher=prefetcher,
+            mshrs=config.mshrs,
+        )
+        self.branch_predictor = TwoBcGskewPredictor()
+        self.store_buffer = StoreBuffer(capacity=config.store_buffer_entries)
+        # SMT: one shared set of queues/rename/issue/fetch (slot index 0);
+        # CMP: private per-core copies (indexed by hardware context slot)
+        n_groups = 1 if config.smt_shared else config.num_contexts
+        self._issue_groups = [
+            PortedIssue(
+                config.issue_width, config.int_issue, config.fp_issue,
+                config.mem_issue,
+            )
+            for _ in range(n_groups)
+        ]
+        self._fetch_groups = [
+            SlotAllocator(config.fetch_width, "fetch") for _ in range(n_groups)
+        ]
+        # instruction queues (IQ / FQ / MQ): min-heaps of issue times of
+        # occupant entries — a slot frees when its entry issues, in any
+        # order (real IQs are not FIFOs)
+        self._iq_groups = [
+            {"int": [], "fp": [], "mem": []} for _ in range(n_groups)
+        ]
+        # rename-register pool: min-heap of commit times of in-flight
+        # writers (registers free at commit)
+        self._rename_groups: list[list[int]] = [[] for _ in range(n_groups)]
+
+        self._contexts: list[ThreadContext | None] = [None] * config.num_contexts
+        self._next_order = 0
+        self._pending: list[tuple[int, int, SpawnRecord]] = []
+        self._heap_seq = 0
+        self._sb_waiters: list[ThreadContext] = []
+        self._finish_time = 0
+        self._ran = False
+
+        #: processor-wide fetched-instruction counter; ILP-pred episodes are
+        #: measured in total forward progress, as in the paper
+        self._global_fetched = 0
+
+        root = ThreadContext(slot=0, order=self._alloc_order(), pos=0)
+        self._contexts[0] = root
+        if config.warm_caches:
+            self._warm_state(warm_addresses, root)
+
+    def _warm_state(self, addresses, root: ThreadContext) -> None:
+        """SimPoint-style warm start for long-lived microarchitectural state.
+
+        A SimPoint window begins mid-execution, with caches, branch
+        predictor and value predictor all trained by the preceding
+        billions of instructions.  A short synthetic trace would otherwise
+        charge all of that warm-up to the timed region:
+
+        * cache contents: the caller supplies the footprints that are
+          resident in steady state (regions that fit in the L3; giant
+          non-revisiting walks stay cold, as they would be at any point of
+          a real long run);
+        * branch predictor and value predictor: one functional pass over
+          the trace trains the tables exactly as the previous loop
+          iterations of the real program would have.
+
+        Stats are reset afterwards so only the timed run is reported.
+        """
+        hierarchy = self.hierarchy
+        if addresses is not None:
+            for addr in addresses:
+                hierarchy.store(addr, 0)
+            hierarchy.reset_stats()
+        bp = self.branch_predictor
+        vp = self.predictor
+        hist = 0
+        for inst in self.trace:
+            if inst.op is OpClass.BRANCH:
+                bp.update(inst.pc, hist, inst.taken)
+                hist = update_history(hist, inst.taken)
+            elif inst.op is OpClass.LOAD and inst.value is not None:
+                vp.train(inst, inst.value)
+        # extra value-predictor passes: confidence counters (+1 per hit)
+        # need far more history than one short trace to reach the steady
+        # state a 100M-instruction run would have — minority pattern values
+        # gain confidence a point at a time and need several hundred
+        # sightings per static load before their counters mean anything.
+        # scale the replay count so each static load sees ~800 trainings.
+        load_insts = [
+            inst
+            for inst in self.trace
+            if inst.op is OpClass.LOAD and inst.value is not None
+        ]
+        if load_insts:
+            per_pc = len(load_insts) / max(1, len({i.pc for i in load_insts}))
+            passes = min(40, max(1, round(800 / per_pc) - 1))
+            for _ in range(passes):
+                for inst in load_insts:
+                    vp.train(inst, inst.value)
+        root.bhist = hist
+        vp.lookups = 0
+        vp.predictions = 0
+        vp.correct = 0
+        vp.incorrect = 0
+
+    # ------------------------------------------------------------------
+    # small helpers
+    # ------------------------------------------------------------------
+    def _alloc_order(self) -> int:
+        order = self._next_order
+        self._next_order += 1
+        return order
+
+    def _free_slot(self) -> int | None:
+        for i, ctx in enumerate(self._contexts):
+            if ctx is None:
+                return i
+        return None
+
+    def _alive_contexts(self) -> list[ThreadContext]:
+        return [c for c in self._contexts if c is not None and c.alive]
+
+    @staticmethod
+    def _queue_of(op: OpClass) -> str:
+        if op.is_memory:
+            return "mem"
+        if op.is_fp:
+            return "fp"
+        return "int"
+
+    def _group_of(self, ctx: ThreadContext) -> int:
+        """Resource-group index: 0 for SMT (shared), the core id for CMP."""
+        return 0 if self.config.smt_shared else ctx.slot
+
+    def _iq_constraint(self, group: int, queue: str, limit: int) -> int:
+        """Earliest cycle a new entry fits in ``queue`` (0 = immediately).
+
+        When the queue is at its limit, the next slot opens when the
+        occupant with the *earliest* issue time leaves; that entry is
+        popped here, which both models the slot release and keeps the heap
+        bounded at the queue limit.
+        """
+        heap = self._iq_groups[group][queue]
+        if len(heap) < limit:
+            return 0
+        return heapq.heappop(heap)
+
+    def _iq_push(self, group: int, queue: str, issue_time: int) -> None:
+        heapq.heappush(self._iq_groups[group][queue], issue_time)
+
+    def _rename_constraint(self, group: int) -> int:
+        """Earliest cycle a rename register is available (0 = immediately)."""
+        heap = self._rename_groups[group]
+        if len(heap) < self.config.rename_regs:
+            return 0
+        return heapq.heappop(heap)
+
+    def _rename_push(self, group: int, commit_time: int) -> None:
+        heapq.heappush(self._rename_groups[group], commit_time)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimStats:
+        """Simulate the whole trace; returns the statistics object."""
+        if self._ran:
+            raise RuntimeError("Engine.run() may only be called once")
+        self._ran = True
+        while True:
+            runnable = [
+                c for c in self._contexts if c is not None and c.alive and c.runnable
+            ]
+            if runnable:
+                ctx = min(runnable, key=lambda c: c.next_time_hint)
+                if self._pending and self._pending[0][0] <= ctx.next_time_hint:
+                    self._resolve_next()
+                    continue
+                self._step(ctx)
+                continue
+            if self._pending:
+                self._resolve_next()
+                continue
+            break
+        self._close_final()
+        self._collect_component_stats()
+        return self.stats
+
+    def _close_final(self) -> None:
+        """Fold the surviving context(s) into the final accounting."""
+        survivors = self._alive_contexts()
+        for ctx in survivors:
+            # the remaining context is the architectural head; every commit
+            # it made within its arch range is useful
+            self.stats.useful_instructions += ctx.within_commits
+            self.stats.wasted_instructions += ctx.beyond_commits
+            if ctx.last_within_commit > self._finish_time:
+                self._finish_time = ctx.last_within_commit
+            self._flush_measures(ctx)
+        self.stats.cycles = self._finish_time
+
+    def _collect_component_stats(self) -> None:
+        self.stats.level_counts = dict(self.hierarchy.level_counts)
+        self.stats.store_forwards = self.store_buffer.forward_hits
+        pf = self.hierarchy.prefetcher
+        if pf is not None:
+            self.stats.prefetch_stream_hits = pf.stream_hits
+            self.stats.prefetch_mistrains = pf.mistrains
+
+    # ------------------------------------------------------------------
+    # one instruction
+    # ------------------------------------------------------------------
+    def _step(self, ctx: ThreadContext) -> None:
+        cfg = self.config
+        inst = self.trace[ctx.pos]
+        op = inst.op
+
+        # --- speculative store gating: never start a store the buffer
+        # cannot hold; the thread stalls until a resolution frees space
+        if (
+            op is OpClass.STORE
+            and ctx.speculative
+            and self.store_buffer.is_full
+        ):
+            ctx.sb_paused = True
+            self.stats.store_buffer_stalls += 1
+            self._sb_waiters.append(ctx)
+            return
+
+        # --- fetch
+        t = ctx.last_fetch
+        if ctx.resume_at > t:
+            t = ctx.resume_at
+        if len(ctx.rob) >= cfg.rob_size:
+            rob_head = ctx.rob[0]
+            if rob_head > t:
+                t = rob_head
+        group = self._group_of(ctx)
+        writes_reg = inst.dst is not None
+        if writes_reg:
+            rename_free = self._rename_constraint(group)
+            if rename_free > t:
+                t = rename_free
+        queue = self._queue_of(op)
+        iq_free = self._iq_constraint(group, queue, cfg.iq_size)
+        if iq_free > t:
+            t = iq_free
+        t_fetch = self._fetch_groups[group].acquire(t)
+        ctx.last_fetch = t_fetch
+
+        # --- rename/queue
+        t_queue = t_fetch + cfg.front_latency
+
+        # --- operand ready
+        t_ready = t_queue
+        reg_ready = ctx.reg_ready
+        for src in inst.srcs:
+            if src:
+                rt = reg_ready[src]
+                if rt > t_ready:
+                    t_ready = rt
+
+        # --- issue
+        port = "mem" if op.is_memory else ("fp" if op.is_fp else "int")
+        t_issue = self._issue_groups[group].acquire(port, t_ready)
+        self._iq_push(group, queue, t_issue)
+
+        # --- execute / memory access
+        expected_level: MemLevel | None = None
+        if op is OpClass.LOAD:
+            self.stats.loads += 1
+            forwarded = self.store_buffer.search(inst.addr, ctx.visible, ctx.pos)
+            if forwarded is not None:
+                t_complete = t_issue + cfg.l1_latency
+                expected_level = MemLevel.L1
+            else:
+                expected_level = self.hierarchy.probe_level(inst.addr)
+                result = self.hierarchy.load(inst.addr, inst.pc, t_issue)
+                t_complete = result.complete_time
+        elif op is OpClass.STORE:
+            t_complete = t_issue + 1
+        else:
+            t_complete = t_issue + EXEC_LATENCY[op]
+
+        # --- value prediction (queue stage)
+        dst_ready = t_complete
+        spawn_record: SpawnRecord | None = None
+        if op is OpClass.LOAD and cfg.mode is not SimMode.BASELINE:
+            dst_ready, spawn_record = self._handle_load_prediction(
+                ctx, inst, t_queue, t_complete, expected_level
+            )
+        elif op is OpClass.LOAD and expected_level is not None and expected_level >= MemLevel.L2:
+            self._defer_measure(ctx, inst.pc, PredictionKind.NONE, t_queue, t_complete)
+
+        # --- branch resolution
+        if op is OpClass.BRANCH:
+            self.stats.branches += 1
+            predicted = self.branch_predictor.predict(inst.pc, ctx.bhist)
+            self.branch_predictor.update(inst.pc, ctx.bhist, inst.taken)
+            ctx.bhist = update_history(ctx.bhist, inst.taken)
+            if predicted != inst.taken:
+                self.stats.branch_mispredicts += 1
+                redirect = t_complete + 1
+                if redirect > ctx.resume_at:
+                    ctx.resume_at = redirect
+
+        # --- writeback
+        if writes_reg:
+            reg_ready[inst.dst] = dst_ready
+
+        # --- commit (in-order, bandwidth-limited)
+        t_commit = ctx.commit_slot(t_complete + 1, cfg.commit_width)
+        if spawn_record is not None:
+            spawn_record.load_commit_time = t_commit
+
+        if op is OpClass.STORE:
+            self.stats.stores += 1
+            if ctx.speculative:
+                # pre-checked above: allocation cannot fail here
+                self.store_buffer.allocate(
+                    ctx.order, ctx.pos, inst.addr, inst.value or 0, t_commit
+                )
+            else:
+                self.hierarchy.store(inst.addr, t_commit)
+
+        # --- window bookkeeping
+        ctx.rob.append(t_commit)
+        if len(ctx.rob) > cfg.rob_size:
+            ctx.rob.popleft()
+        if writes_reg:
+            self._rename_push(group, t_commit)
+
+        # --- commit accounting (closure-based; see DESIGN.md)
+        if ctx.arch_limit is None or ctx.pos <= ctx.arch_limit:
+            ctx.within_commits += 1
+            ctx.last_within_commit = t_commit
+        else:
+            ctx.beyond_commits += 1
+
+        # --- predictor training at commit, in program order
+        if op is OpClass.LOAD and inst.value is not None:
+            self.predictor.train(inst, inst.value)
+
+        ctx.fetched_count += 1
+        self._global_fetched += 1
+        self._finalize_measures(ctx, t_fetch)
+        ctx.pos += 1
+        if ctx.pos >= len(self.trace):
+            ctx.done = True
+        if spawn_record is not None and cfg.fetch_policy is FetchPolicy.SINGLE_FETCH_PATH:
+            ctx.blocked = True
+
+    # ------------------------------------------------------------------
+    # value prediction and spawning
+    # ------------------------------------------------------------------
+    def _handle_load_prediction(
+        self,
+        ctx: ThreadContext,
+        inst: Instruction,
+        t_queue: int,
+        t_complete: int,
+        expected_level: MemLevel | None,
+    ) -> tuple[int, SpawnRecord | None]:
+        """Decide on and apply a value prediction for this load.
+
+        Returns (destination ready time, spawn record or None).
+        """
+        cfg = self.config
+        stats = self.stats
+        # every unpredicted load contributes a no-prediction episode so the
+        # ILP-pred baseline exists even for PCs that always hit the L1
+        # (those are exactly the loads it must learn not to spawn on)
+        worth_measuring = True
+
+        spawn_possible = (
+            cfg.mode in (SimMode.MTVP, SimMode.SPAWN_ONLY)
+            and not ctx.pending_spawn
+            and self._free_slot() is not None
+        )
+
+        if cfg.mode is SimMode.SPAWN_ONLY:
+            kind = self.selector.choose(inst, spawn_possible, expected_level)
+            if kind is not PredictionKind.MTVP or not spawn_possible:
+                if kind is PredictionKind.MTVP:
+                    stats.spawn_denied_no_context += 1
+                if worth_measuring:
+                    self._defer_measure(
+                        ctx, inst.pc, PredictionKind.NONE, t_queue, t_complete
+                    )
+                return t_complete, None
+            # spawn-only: the child waits for the real value (no VP)
+            record = self._spawn(
+                ctx, inst, [(inst.value or 0, t_complete)], t_queue, t_complete,
+                SimMode.SPAWN_ONLY,
+            )
+            return t_complete, record
+
+        prediction = self.predictor.predict(inst)
+        if prediction is None:
+            if worth_measuring:
+                self._defer_measure(ctx, inst.pc, PredictionKind.NONE, t_queue, t_complete)
+            return t_complete, None
+
+        if cfg.mode is SimMode.MTVP and not spawn_possible:
+            # a confident prediction arrived while every context was busy —
+            # the lost-opportunity statistic behind the thread-count studies
+            stats.spawn_denied_no_context += 1
+
+        kind = self.selector.choose(inst, spawn_possible, expected_level)
+        if cfg.mode is SimMode.STVP and kind is PredictionKind.MTVP:
+            kind = PredictionKind.STVP
+        if kind is PredictionKind.NONE:
+            stats.declined_predictions += 1
+            if worth_measuring:
+                self._defer_measure(ctx, inst.pc, PredictionKind.NONE, t_queue, t_complete)
+            return t_complete, None
+
+        # Figure 5 instrumentation: was the right value available even when
+        # the primary prediction is wrong?
+        if cfg.collect_multivalue:
+            stats.followed_predictions += 1
+            if prediction.value != inst.value:
+                candidates = self.predictor.predict_all(inst)
+                if any(p.value == inst.value for p in candidates):
+                    stats.primary_wrong_candidate_present += 1
+
+        if kind is PredictionKind.MTVP and not spawn_possible:
+            kind = PredictionKind.STVP
+
+        if kind is PredictionKind.STVP:
+            stats.stvp_predictions += 1
+            correct = prediction.value == inst.value
+            self.predictor.record_outcome(correct)
+            self._defer_measure(ctx, inst.pc, PredictionKind.STVP, t_queue, t_complete)
+            if correct:
+                stats.stvp_correct += 1
+                return t_queue, None
+            stats.stvp_incorrect += 1
+            # selective re-issue: dependents re-execute once the true value
+            # arrives; commit was never early, so only the dependents pay
+            return t_complete + cfg.reissue_penalty, None
+
+        # MTVP: spawn one thread per followed value (multi-value capable)
+        values: list[tuple[int, int]] = []
+        spawn_ready = t_queue + cfg.spawn_latency
+        if cfg.multi_value > 1:
+            for cand in self.predictor.predict_all(inst)[: cfg.multi_value]:
+                values.append((cand.value, spawn_ready))
+        else:
+            values.append((prediction.value, spawn_ready))
+        stats.mtvp_predictions += 1
+        record = self._spawn(ctx, inst, values, t_queue, t_complete, SimMode.MTVP)
+        return t_complete, record
+
+    def _spawn(
+        self,
+        parent: ThreadContext,
+        inst: Instruction,
+        values: list[tuple[int, int]],
+        t_queue: int,
+        t_complete: int,
+        kind: SimMode,
+    ) -> SpawnRecord:
+        """Create speculative context(s) for the given predicted values."""
+        record = SpawnRecord(
+            resolve_time=t_complete,
+            parent=parent,
+            actual=inst.value or 0,
+            pc=inst.pc,
+            start_time=t_queue,
+            kind=kind,
+        )
+        record.start_global = self._global_fetched
+        for value, ready_time in values:
+            slot = self._free_slot()
+            if slot is None:
+                break
+            child = ThreadContext(
+                slot=slot,
+                order=self._alloc_order(),
+                pos=parent.pos + 1,
+                start_time=ready_time,
+                parent=parent,
+                speculative=True,
+            )
+            child.reg_ready[inst.dst] = ready_time if kind is SimMode.MTVP else t_complete
+            child.spawn_record_as_child = record
+            if child.pos >= len(self.trace):
+                # spawned on the final instruction: nothing left to run,
+                # the child only waits for its confirmation
+                child.done = True
+            parent.children.append(child)
+            self._contexts[slot] = child
+            record.children.append((child, value))
+            self.stats.spawns += 1
+        parent.arch_limit = parent.pos
+        parent.pending_spawn = True
+        heapq.heappush(self._pending, (t_complete, self._heap_seq, record))
+        self._heap_seq += 1
+        return record
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def _resolve_next(self) -> None:
+        resolve_time, _seq, record = heapq.heappop(self._pending)
+        if record.void or not record.parent.alive:
+            return
+        parent = record.parent
+        stats = self.stats
+
+        winner: ThreadContext | None = None
+        winner_value = 0
+        for child, value in record.children:
+            if child.alive and (record.kind is SimMode.SPAWN_ONLY or value == record.actual):
+                winner = child
+                winner_value = value
+                break
+        losers = [
+            child
+            for child, _v in record.children
+            if child.alive and child is not winner
+        ]
+        for loser in losers:
+            self._kill_subtree(loser, resolve_time)
+
+        if winner is None:
+            # misprediction: parent resumes past the load; the speculative
+            # progress made was useless, so ILP-pred sees zero
+            if record.kind is SimMode.MTVP:
+                stats.mtvp_incorrect += 1
+                self.predictor.record_outcome(False)
+            self.selector.record(
+                record.pc, PredictionKind.MTVP, 0, max(1, resolve_time - record.start_time)
+            )
+            parent.blocked = False
+            parent.pending_spawn = False
+            if resolve_time + 1 > parent.resume_at:
+                parent.resume_at = resolve_time + 1
+            # any progress the parent made past the load (no-stall policy)
+            # is real execution and becomes architectural
+            parent.within_commits += parent.beyond_commits
+            parent.beyond_commits = 0
+            parent.arch_limit = None
+            return
+
+        # confirmation: the parent retires, the winner carries on
+        if record.kind is SimMode.MTVP:
+            stats.mtvp_correct += 1
+            self.predictor.record_outcome(True)
+        stats.confirms += 1
+        self.selector.record(
+            record.pc,
+            PredictionKind.MTVP,
+            max(0, self._global_fetched - record.start_global),
+            max(1, resolve_time - record.start_time),
+            committed=winner.within_commits,
+        )
+        # parent's other children (spawned from its doomed post-load
+        # stream under the no-stall policy) die with it
+        for other in list(parent.children):
+            if other is not winner and other.alive:
+                self._kill_subtree(other, resolve_time)
+        self._retire_parent(parent, winner, record, resolve_time)
+        _ = winner_value
+
+    def _retire_parent(
+        self,
+        parent: ThreadContext,
+        winner: ThreadContext,
+        record: SpawnRecord,
+        resolve_time: int,
+    ) -> None:
+        """Release the parent after a confirmed prediction; its work stands.
+
+        The parent's architectural contribution (commits up to and
+        including the predicted load) folds *into the winner*: it only
+        becomes finally useful if the whole chain below the winner
+        survives.  If an older outstanding prediction later turns out
+        wrong, the winner — now carrying these counts — is killed and the
+        work is correctly accounted as wasted.
+        """
+        # everything up to and including the load travels with the winner
+        winner.within_commits += parent.within_commits
+        for t in (parent.last_within_commit, record.load_commit_time, resolve_time):
+            if t > winner.last_within_commit:
+                winner.last_within_commit = t
+        # progress past the load (no-stall policy) duplicated work the
+        # winner already performed — wasted either way
+        self.stats.wasted_instructions += parent.beyond_commits
+        self._flush_measures(parent)
+        parent.alive = False
+        self._contexts[parent.slot] = None
+        # splice the chain: the winner replaces the parent everywhere
+        grand = parent.parent
+        winner.parent = grand
+        if grand is not None:
+            if parent in grand.children:
+                grand.children.remove(parent)
+            grand.children.append(winner)
+        outer = parent.spawn_record_as_child
+        if outer is not None and not outer.void:
+            outer.children = [
+                (winner if c is parent else c, v) for c, v in outer.children
+            ]
+            winner.spawn_record_as_child = outer
+        else:
+            winner.spawn_record_as_child = None
+        # speculative status propagates down the chain
+        if not parent.speculative:
+            self._make_architectural(winner, resolve_time)
+
+    def _make_architectural(self, ctx: ThreadContext, now: int) -> None:
+        """Promote a confirmed context to non-speculative status."""
+        ctx.speculative = False
+        # release this thread's (and dead ancestors') buffered stores
+        for entry in self.store_buffer.drain_upto(ctx.order):
+            self.hierarchy.store(entry.addr, max(entry.time, now))
+        self._wake_sb_waiters(now)
+        if ctx.sb_paused:
+            ctx.sb_paused = False
+            if now > ctx.resume_at:
+                ctx.resume_at = now
+
+    def _kill_subtree(self, ctx: ThreadContext, now: int) -> None:
+        """Squash a mispredicted context and every thread it spawned."""
+        for child in list(ctx.children):
+            if child.alive:
+                self._kill_subtree(child, now)
+        # void any pending record where ctx is the parent
+        for _t, _s, record in self._pending:
+            if record.parent is ctx:
+                record.void = True
+        self.stats.kills += 1
+        self.stats.wasted_instructions += ctx.within_commits + ctx.beyond_commits
+        self.store_buffer.squash_thread(ctx.order)
+        self._flush_measures(ctx, drop=True)
+        ctx.alive = False
+        if self._contexts[ctx.slot] is ctx:
+            self._contexts[ctx.slot] = None
+        if ctx.parent is not None and ctx in ctx.parent.children:
+            ctx.parent.children.remove(ctx)
+        self._wake_sb_waiters(now)
+
+    def _wake_sb_waiters(self, now: int) -> None:
+        if not self._sb_waiters:
+            return
+        waiters, self._sb_waiters = self._sb_waiters, []
+        for ctx in waiters:
+            if not ctx.alive:
+                continue
+            ctx.sb_paused = False
+            if now > ctx.resume_at:
+                ctx.resume_at = now
+
+    # ------------------------------------------------------------------
+    # deferred ILP-pred measurements
+    # ------------------------------------------------------------------
+    def _defer_measure(
+        self,
+        ctx: ThreadContext,
+        pc: int,
+        kind: PredictionKind,
+        start_time: int,
+        end_time: int,
+    ) -> None:
+        if len(ctx.pending_measures) >= 32:
+            self._finalize_oldest(ctx)
+        ctx.pending_measures.append(
+            (pc, int(kind), start_time, end_time, self._global_fetched)
+        )
+
+    def _finalize_oldest(self, ctx: ThreadContext) -> None:
+        pc, kind, start_t, end_t, start_count = ctx.pending_measures.pop(0)
+        self.selector.record(
+            pc,
+            PredictionKind(kind),
+            max(0, self._global_fetched - start_count),
+            max(1, end_t - start_t),
+        )
+
+    def _finalize_measures(self, ctx: ThreadContext, now: int) -> None:
+        if not ctx.pending_measures:
+            return
+        remaining = []
+        for entry in ctx.pending_measures:
+            pc, kind, start_t, end_t, start_count = entry
+            if end_t <= now:
+                self.selector.record(
+                    pc,
+                    PredictionKind(kind),
+                    max(0, self._global_fetched - start_count),
+                    max(1, end_t - start_t),
+                )
+            else:
+                remaining.append(entry)
+        ctx.pending_measures = remaining
+
+    def _flush_measures(self, ctx: ThreadContext, drop: bool = False) -> None:
+        if drop:
+            ctx.pending_measures = []
+            return
+        for pc, kind, start_t, end_t, start_count in ctx.pending_measures:
+            self.selector.record(
+                pc,
+                PredictionKind(kind),
+                max(0, self._global_fetched - start_count),
+                max(1, end_t - start_t),
+            )
+        ctx.pending_measures = []

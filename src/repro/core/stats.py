@@ -1,0 +1,111 @@
+"""Simulation statistics."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.memory import MemLevel
+
+
+@dataclasses.dataclass
+class SimStats:
+    """Counters and derived metrics from one simulation run.
+
+    ``useful_instructions`` counts only instructions whose results became
+    architectural — commits by the non-speculative thread plus speculative
+    commits that were later confirmed.  ``useful_ipc`` is the paper's
+    headline metric ("Change in Useful IPC").
+    """
+
+    # headline
+    cycles: int = 0
+    useful_instructions: int = 0
+    wasted_instructions: int = 0
+    # value prediction
+    stvp_predictions: int = 0
+    stvp_correct: int = 0
+    stvp_incorrect: int = 0
+    mtvp_predictions: int = 0
+    mtvp_correct: int = 0
+    mtvp_incorrect: int = 0
+    declined_predictions: int = 0
+    # threading
+    spawns: int = 0
+    confirms: int = 0
+    kills: int = 0
+    spawn_denied_no_context: int = 0
+    store_buffer_stalls: int = 0
+    # front end
+    branches: int = 0
+    branch_mispredicts: int = 0
+    # memory
+    loads: int = 0
+    stores: int = 0
+    store_forwards: int = 0
+    level_counts: dict[MemLevel, int] = dataclasses.field(
+        default_factory=lambda: {level: 0 for level in MemLevel}
+    )
+    prefetch_stream_hits: int = 0
+    prefetch_mistrains: int = 0
+    # multiple-value potential (Figure 5)
+    followed_predictions: int = 0
+    primary_wrong_candidate_present: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def useful_ipc(self) -> float:
+        """Useful instructions per cycle."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.useful_instructions / self.cycles
+
+    @property
+    def total_predictions(self) -> int:
+        """All value predictions acted upon (STVP + MTVP)."""
+        return self.stvp_predictions + self.mtvp_predictions
+
+    @property
+    def prediction_accuracy(self) -> float:
+        """Fraction of acted-upon predictions that were correct."""
+        total = self.total_predictions
+        if not total:
+            return 0.0
+        return (self.stvp_correct + self.mtvp_correct) / total
+
+    @property
+    def branch_accuracy(self) -> float:
+        """Branch direction prediction accuracy."""
+        if not self.branches:
+            return 1.0
+        return 1.0 - self.branch_mispredicts / self.branches
+
+    @property
+    def memory_miss_fraction(self) -> float:
+        """Fraction of loads that went all the way to main memory."""
+        if not self.loads:
+            return 0.0
+        return self.level_counts[MemLevel.MEMORY] / self.loads
+
+    @property
+    def multivalue_fraction(self) -> float:
+        """Figure 5 metric: followed predictions whose primary value was
+        wrong while the correct value was present and over threshold."""
+        if not self.followed_predictions:
+            return 0.0
+        return self.primary_wrong_candidate_present / self.followed_predictions
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest (used by examples)."""
+        lines = [
+            f"cycles               {self.cycles}",
+            f"useful instructions  {self.useful_instructions}",
+            f"useful IPC           {self.useful_ipc:.3f}",
+            f"wasted instructions  {self.wasted_instructions}",
+            f"value predictions    {self.total_predictions} "
+            f"(accuracy {self.prediction_accuracy:.2%})",
+            f"spawns/confirms/kills {self.spawns}/{self.confirms}/{self.kills}",
+            f"branch accuracy      {self.branch_accuracy:.2%}",
+            f"loads to memory      {self.memory_miss_fraction:.2%}",
+            f"store-buffer stalls  {self.store_buffer_stalls}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Experiment harness: reproduces every table and figure of the paper.
+
+Each experiment in :mod:`repro.harness.experiments` regenerates one
+artifact from the evaluation section (see DESIGN.md §4 for the index).
+Results come back as structured objects with ``format_table()`` for
+human-readable output; the benchmark suite under ``benchmarks/`` drives
+them through pytest-benchmark.
+"""
+
+from repro.harness.export import (
+    load_result_json,
+    result_to_csv,
+    result_to_dict,
+    result_to_json,
+    stats_to_dict,
+)
+from repro.harness.metrics import geomean_speedup, percent_speedup
+from repro.harness.runner import ModeResult, RunSpec, compare_modes, run_once
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    ablation_memory_latency,
+    fig1_oracle_potential,
+    fig2_spawn_latency,
+    fig3_realistic_wf,
+    fig4_fetch_policy,
+    fig5_multivalue_potential,
+    fig6_wide_window,
+    sec4_prefetcher_ablation,
+    sec51_selectors,
+    sec53_store_buffer,
+    sec54_dfcm_vs_wf,
+    sec56_multivalue,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ablation_memory_latency",
+    "ModeResult",
+    "RunSpec",
+    "compare_modes",
+    "fig1_oracle_potential",
+    "fig2_spawn_latency",
+    "fig3_realistic_wf",
+    "fig4_fetch_policy",
+    "fig5_multivalue_potential",
+    "fig6_wide_window",
+    "geomean_speedup",
+    "load_result_json",
+    "percent_speedup",
+    "result_to_csv",
+    "result_to_dict",
+    "result_to_json",
+    "stats_to_dict",
+    "run_once",
+    "sec4_prefetcher_ablation",
+    "sec51_selectors",
+    "sec53_store_buffer",
+    "sec54_dfcm_vs_wf",
+    "sec56_multivalue",
+]

@@ -1,0 +1,37 @@
+"""Speedup math used throughout the evaluation.
+
+The paper reports "Percent Speedup" in useful IPC per benchmark and
+summarizes suites with the geometric mean ("a geometric mean speedup of
+40% on integer benchmarks"), so negative per-benchmark results fold in as
+ratios below 1.0.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def percent_speedup(ipc: float, base_ipc: float) -> float:
+    """Percent change in useful IPC versus the baseline machine."""
+    if base_ipc <= 0:
+        raise ValueError("baseline IPC must be positive")
+    return 100.0 * (ipc / base_ipc - 1.0)
+
+
+def geomean_speedup(percents: list[float]) -> float:
+    """Geometric-mean percent speedup over per-benchmark percent speedups.
+
+    Each percentage is converted to a ratio (100% -> 2.0), the geometric
+    mean of the ratios is taken, and the result converted back.  Ratios
+    must stay positive; a -100% entry would mean a machine that never
+    finishes and is rejected.
+    """
+    if not percents:
+        raise ValueError("need at least one speedup")
+    log_sum = 0.0
+    for p in percents:
+        ratio = 1.0 + p / 100.0
+        if ratio <= 0:
+            raise ValueError(f"speedup {p}% implies a non-positive ratio")
+        log_sum += math.log(ratio)
+    return 100.0 * (math.exp(log_sum / len(percents)) - 1.0)

@@ -1,0 +1,105 @@
+"""Run descriptions and the multi-configuration comparison driver."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Callable
+
+from repro import simulate
+from repro.core import MachineConfig, SimStats
+from repro.harness.metrics import percent_speedup
+from repro.select import IlpPredSelector, LoadSelector
+from repro.vp import OraclePredictor, ValuePredictor
+from repro.workloads import get_workload
+
+#: default dynamic trace length for experiments; override with the
+#: REPRO_TRACE_LEN environment variable (benchmarks honour it too)
+DEFAULT_LENGTH = int(os.environ.get("REPRO_TRACE_LEN", "16000"))
+
+
+@dataclasses.dataclass
+class RunSpec:
+    """One named machine configuration plus its predictor/selector recipe.
+
+    Factories (not instances) are required because predictor and selector
+    state must be fresh for every simulation.
+    """
+
+    name: str
+    config_factory: Callable[[], MachineConfig]
+    predictor_factory: Callable[[], ValuePredictor] = OraclePredictor
+    selector_factory: Callable[[], LoadSelector] = IlpPredSelector
+
+    def run(self, workload_name: str, length: int, seed: int = 0) -> SimStats:
+        """Simulate this configuration on one workload."""
+        return simulate(
+            get_workload(workload_name),
+            self.config_factory(),
+            predictor=self.predictor_factory(),
+            selector=self.selector_factory(),
+            length=length,
+            seed=seed,
+        )
+
+
+@dataclasses.dataclass
+class ModeResult:
+    """Per-workload outcome of one configuration against the baseline."""
+
+    workload: str
+    suite: str
+    mode: str
+    ipc: float
+    base_ipc: float
+    stats: SimStats
+
+    @property
+    def speedup_percent(self) -> float:
+        """Percent useful-IPC improvement over the baseline machine."""
+        return percent_speedup(self.ipc, self.base_ipc)
+
+
+def run_once(
+    workload_name: str,
+    spec: RunSpec,
+    length: int | None = None,
+    seed: int = 0,
+) -> SimStats:
+    """Convenience wrapper: one workload through one run spec."""
+    return spec.run(workload_name, length or DEFAULT_LENGTH, seed)
+
+
+def compare_modes(
+    workload_names: tuple[str, ...],
+    specs: list[RunSpec],
+    length: int | None = None,
+    seed: int = 0,
+    baseline: RunSpec | None = None,
+) -> dict[str, list[ModeResult]]:
+    """Run every spec on every workload against a common baseline.
+
+    Returns a mapping from spec name to its per-workload results, in the
+    order of ``workload_names``.
+    """
+    n = length or DEFAULT_LENGTH
+    base_spec = baseline if baseline is not None else RunSpec(
+        "baseline", MachineConfig.hpca05_baseline
+    )
+    results: dict[str, list[ModeResult]] = {spec.name: [] for spec in specs}
+    for name in workload_names:
+        workload = get_workload(name)
+        base_stats = base_spec.run(name, n, seed)
+        for spec in specs:
+            stats = spec.run(name, n, seed)
+            results[spec.name].append(
+                ModeResult(
+                    workload=name,
+                    suite=workload.suite,
+                    mode=spec.name,
+                    ipc=stats.useful_ipc,
+                    base_ipc=base_stats.useful_ipc,
+                    stats=stats,
+                )
+            )
+    return results

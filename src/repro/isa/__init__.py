@@ -1,0 +1,32 @@
+"""Minimal abstract RISC ISA used by the trace-driven timing model.
+
+The reproduction does not execute real machine code; it simulates the
+*timing* of an instruction stream.  Each :class:`Instruction` therefore
+carries only the fields that influence timing and value prediction:
+
+* the static program counter (``pc``) — predictor tables are PC-indexed,
+* the operation class (``op``) — selects issue port and execution latency,
+* logical source/destination registers — define the data-dependence graph,
+* the effective address for memory operations — drives the cache hierarchy
+  and the stride prefetcher,
+* the memory value for loads/stores — drives value-predictor training and
+  the oracle predictor,
+* the branch outcome for branches — drives the 2bcgskew predictor.
+"""
+
+from repro.isa.instruction import Instruction, InstructionBuilder
+from repro.isa.opclass import (
+    EXEC_LATENCY,
+    NUM_LOGICAL_REGS,
+    REG_ZERO,
+    OpClass,
+)
+
+__all__ = [
+    "EXEC_LATENCY",
+    "Instruction",
+    "InstructionBuilder",
+    "NUM_LOGICAL_REGS",
+    "OpClass",
+    "REG_ZERO",
+]

@@ -1,0 +1,63 @@
+"""Operation classes and their static execution properties.
+
+The machine in Table 1 of the paper issues up to 8 instructions per cycle:
+6 integer, 2 floating point and 4 load/store.  We model that with four port
+groups; each :class:`OpClass` maps onto exactly one group.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Timing-relevant instruction classes.
+
+    The values are contiguous small integers so they can index flat lists in
+    the hot simulation loop.
+    """
+
+    INT_ALU = 0
+    INT_MUL = 1
+    FP_ALU = 2
+    FP_MUL = 3
+    LOAD = 4
+    STORE = 5
+    BRANCH = 6
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores (they use the load/store ports)."""
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_fp(self) -> bool:
+        """True for floating-point computation classes."""
+        return self in (OpClass.FP_ALU, OpClass.FP_MUL)
+
+    @property
+    def writes_register(self) -> bool:
+        """True when the instruction produces a register result."""
+        return self not in (OpClass.STORE, OpClass.BRANCH)
+
+
+#: Execution latency (cycles spent in the functional unit) per op class.
+#: LOAD latency here is only the address-generation/pipeline cost; the memory
+#: hierarchy adds the access latency on top.
+EXEC_LATENCY: dict[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 7,
+    OpClass.FP_ALU: 4,
+    OpClass.FP_MUL: 4,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+}
+
+#: Number of architectural (logical) registers visible to the trace
+#: generator: 32 integer + 32 floating point.
+NUM_LOGICAL_REGS = 64
+
+#: Register 0 reads as constant zero and never creates a dependence, matching
+#: the Alpha convention SMTSIM simulates.
+REG_ZERO = 0

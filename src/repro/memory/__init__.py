@@ -1,0 +1,27 @@
+"""Memory-system substrate: caches, prefetcher, store buffer.
+
+This package implements the memory hierarchy of Table 1 in the paper:
+
+* 64 KB 2-way L1 data cache, 2-cycle latency,
+* 512 KB 8-way L2, 20 cycles,
+* 4 MB 16-way L3, 50 cycles,
+* 1000-cycle main memory,
+* a PC-based 256-entry stride prefetcher feeding 8 stream buffers,
+* the tagged speculative store buffer used by single-fetch-path MTVP.
+"""
+
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy, MemLevel
+from repro.memory.prefetcher import StridePrefetcher, StreamBuffer
+from repro.memory.store_buffer import StoreBuffer, StoreEntry
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "MemLevel",
+    "MemoryHierarchy",
+    "StoreBuffer",
+    "StoreEntry",
+    "StridePrefetcher",
+    "StreamBuffer",
+]

@@ -1,0 +1,190 @@
+"""Three-level data-cache hierarchy with miss merging and prefetching.
+
+Latencies follow Table 1 of the paper: L1 2 cycles, L2 20, L3 50, main
+memory 1000.  The hierarchy is inclusive and contents-only; an access at
+time ``now`` returns the completion time, so the timestamp-based pipeline
+never needs a per-cycle loop.
+
+Outstanding misses are merged: a second access to a line already in flight
+completes when the first fill arrives, mimicking MSHR behaviour.  This
+matters for MTVP because a killed speculative thread's demand fetches act
+as prefetches for the recovering parent — an effect the paper relies on
+when discussing misprediction costs.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+
+from repro.memory.cache import Cache
+from repro.memory.prefetcher import StridePrefetcher
+
+
+class MemLevel(enum.IntEnum):
+    """Where an access was satisfied (used by stats and the miss oracle)."""
+
+    L1 = 0
+    STREAM = 1
+    L2 = 2
+    L3 = 3
+    MEMORY = 4
+
+
+class AccessResult:
+    """Outcome of one data-cache access."""
+
+    __slots__ = ("complete_time", "level")
+
+    def __init__(self, complete_time: int, level: MemLevel) -> None:
+        self.complete_time = complete_time
+        self.level = level
+
+    def __repr__(self) -> str:
+        return f"AccessResult(t={self.complete_time}, level={self.level.name})"
+
+
+class MemoryHierarchy:
+    """L1/L2/L3 + memory with a stride prefetcher in front of L2.
+
+    Args:
+        l1: L1 data cache (64 KB 2-way, 2 cycles in the paper).
+        l2: Unified L2 (512 KB 8-way, 20 cycles).
+        l3: L3 (4 MB 16-way, 50 cycles).
+        mem_latency: Main-memory latency in cycles (1000).
+        prefetcher: Optional stride prefetcher; the paper's baseline always
+            includes one ("all results we present use it").
+    """
+
+    def __init__(
+        self,
+        l1: Cache | None = None,
+        l2: Cache | None = None,
+        l3: Cache | None = None,
+        mem_latency: int = 1000,
+        prefetcher: StridePrefetcher | None = None,
+        mshrs: int = 16,
+    ) -> None:
+        self.l1 = l1 if l1 is not None else Cache(64 * 1024, 2, latency=2, name="L1D")
+        self.l2 = l2 if l2 is not None else Cache(512 * 1024, 8, latency=20, name="L2")
+        self.l3 = l3 if l3 is not None else Cache(4 * 1024 * 1024, 16, latency=50, name="L3")
+        self.mem_latency = mem_latency
+        self.prefetcher = prefetcher
+        #: maximum outstanding memory misses (miss status holding
+        #: registers); when exhausted, a new miss waits for the earliest
+        #: outstanding fill — the memory-level-parallelism cap any real
+        #: machine has, idealized windows included
+        self.mshrs = mshrs
+        self._mshr_heap: list[int] = []
+        #: line address -> fill completion time for in-flight misses
+        self._inflight: dict[int, int] = {}
+        self.accesses = 0
+        self.mshr_stalls = 0
+        self.level_counts: dict[MemLevel, int] = {level: 0 for level in MemLevel}
+
+    # ------------------------------------------------------------------
+    def _prune_inflight(self, now: int) -> None:
+        """Drop merge records whose fills have long since landed.
+
+        Contexts run on slightly skewed local clocks, so records are kept
+        for a grace window past completion rather than dropped eagerly.
+        """
+        if len(self._inflight) < 4096:
+            return
+        horizon = now - 4 * self.mem_latency
+        for line in [ln for ln, t in self._inflight.items() if t < horizon]:
+            del self._inflight[line]
+
+    def load(self, addr: int, pc: int, now: int) -> AccessResult:
+        """Perform a demand load access at time ``now``.
+
+        Returns the completion time and the level that satisfied the
+        access.  Fills update all levels immediately (contents-only model);
+        the returned time carries the latency.
+        """
+        self.accesses += 1
+        line = self.l1.line_of(addr)
+        # an access to a line whose fill is still in flight completes when
+        # that fill lands, regardless of where the (already-inserted)
+        # contents nominally sit — checked first because fills update
+        # cache state at request time in this contents-only model
+        pending = self._inflight.get(line)
+        if pending is not None and pending > now:
+            self.l1.lookup(addr)  # keep LRU state moving
+            self.level_counts[MemLevel.L1] += 1  # a merged, L1-level wait
+            return AccessResult(pending, MemLevel.L1)
+        if self.l1.lookup(addr):
+            result = AccessResult(now + self.l1.latency, MemLevel.L1)
+            self.level_counts[MemLevel.L1] += 1
+            return result
+        if self.prefetcher is not None:
+            # stream buffers filter the miss stream: a hit consumes the
+            # entry and extends the stream; only stream misses train the
+            # stride table (otherwise every hit would allocate a new
+            # buffer and evict the very stream that is working)
+            stream_time = self.prefetcher.lookup(addr, now)
+            if stream_time is not None:
+                self.l1.insert(addr)
+                self.level_counts[MemLevel.STREAM] += 1
+                return AccessResult(stream_time, MemLevel.STREAM)
+            self.prefetcher.train(pc, addr, now)
+        if self.l2.lookup(addr):
+            self.l1.insert(addr)
+            self.level_counts[MemLevel.L2] += 1
+            return AccessResult(now + self.l2.latency, MemLevel.L2)
+        if self.l3.lookup(addr):
+            self.l1.insert(addr)
+            self.l2.insert(addr)
+            self.level_counts[MemLevel.L3] += 1
+            return AccessResult(now + self.l3.latency, MemLevel.L3)
+        # full miss to memory, subject to MSHR availability
+        start = now
+        heap = self._mshr_heap
+        while heap and heap[0] <= start:
+            heapq.heappop(heap)
+        if len(heap) >= self.mshrs:
+            start = heapq.heappop(heap)
+            self.mshr_stalls += 1
+        complete = start + self.mem_latency
+        heapq.heappush(heap, complete)
+        self.l1.insert(addr)
+        self.l2.insert(addr)
+        self.l3.insert(addr)
+        self._inflight[line] = complete
+        self._prune_inflight(now)
+        self.level_counts[MemLevel.MEMORY] += 1
+        return AccessResult(complete, MemLevel.MEMORY)
+
+    def store(self, addr: int, now: int) -> None:
+        """Retire a store into the hierarchy (write-allocate, contents only).
+
+        Store latency never stalls commit in the model — the store buffer
+        handles ordering — so no completion time is returned.
+        """
+        if not self.l1.lookup(addr):
+            if not self.l2.lookup(addr):
+                self.l3.lookup(addr)
+                self.l3.insert(addr)
+                self.l2.insert(addr)
+            self.l1.insert(addr)
+
+    def probe_level(self, addr: int) -> MemLevel:
+        """Non-destructive check of where ``addr`` would currently hit.
+
+        Used by the oracle ("cache-level") load selector from Section 5.1,
+        which knows the cache behaviour of each load in advance.
+        """
+        if self.l1.probe(addr):
+            return MemLevel.L1
+        if self.l2.probe(addr):
+            return MemLevel.L2
+        if self.l3.probe(addr):
+            return MemLevel.L3
+        return MemLevel.MEMORY
+
+    def reset_stats(self) -> None:
+        """Zero all counters, keeping cache contents."""
+        self.accesses = 0
+        self.level_counts = {level: 0 for level in MemLevel}
+        for cache in (self.l1, self.l2, self.l3):
+            cache.reset_stats()

@@ -1,0 +1,32 @@
+"""Load selectors (criticality predictors) from Section 5.1.
+
+A value prediction is only *used* when a selector decides the load is worth
+predicting, and in which mode.  The paper studies:
+
+* a **cache-level oracle**: L3 misses are profitable for multithreaded
+  value prediction, L1 misses for single-threaded value prediction,
+* **ILP-pred**: a per-PC forward-progress tracker that "allows value
+  predictions of a certain type only if the average forward progress
+  (measured in issued instructions) of that type is greater than the
+  forward progress when no value prediction is made", with the division
+  approximated by a shift,
+* (an "always" selector is provided as the no-policy baseline.)
+"""
+
+from repro.select.selectors import (
+    AlwaysSelector,
+    IlpCommitSelector,
+    IlpPredSelector,
+    LoadSelector,
+    MissOracleSelector,
+    PredictionKind,
+)
+
+__all__ = [
+    "AlwaysSelector",
+    "IlpCommitSelector",
+    "IlpPredSelector",
+    "LoadSelector",
+    "MissOracleSelector",
+    "PredictionKind",
+]

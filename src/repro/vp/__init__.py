@@ -1,0 +1,32 @@
+"""Value predictors.
+
+The paper (Section 3.1, 5.4) experiments with:
+
+* an **oracle** predictor that always predicts correctly for any load it
+  chooses to predict,
+* a **hybrid Wang–Franklin** predictor: a 4K-entry value history table with
+  five learned values, hardwired zero and one, and a stride component; a
+  32K-entry value pattern history table of confidence counters
+  (+1 correct / −8 incorrect, threshold 12, max 32),
+* an improved third-order **DFCM** predictor with Burtscher's index
+  function and a confidence estimator.
+
+Simple last-value and stride predictors are provided both as components and
+as baselines for tests.
+"""
+
+from repro.vp.base import ValuePrediction, ValuePredictor
+from repro.vp.dfcm import DfcmPredictor
+from repro.vp.oracle import OraclePredictor
+from repro.vp.simple import LastValuePredictor, StridePredictor
+from repro.vp.wang_franklin import WangFranklinPredictor
+
+__all__ = [
+    "DfcmPredictor",
+    "LastValuePredictor",
+    "OraclePredictor",
+    "StridePredictor",
+    "ValuePrediction",
+    "ValuePredictor",
+    "WangFranklinPredictor",
+]

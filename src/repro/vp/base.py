@@ -1,0 +1,87 @@
+"""Common protocol for load value predictors."""
+
+from __future__ import annotations
+
+from repro.isa import Instruction
+
+
+class ValuePrediction:
+    """A single predicted value with its confidence.
+
+    Attributes:
+        value: The predicted 64-bit load result.
+        confidence: Saturating-counter confidence backing the prediction.
+        slot: Which internal source produced the value (predictor-specific;
+            Wang–Franklin uses 0-4 learned, 5 zero, 6 one, 7 stride).
+    """
+
+    __slots__ = ("value", "confidence", "slot")
+
+    def __init__(self, value: int, confidence: int, slot: int = 0) -> None:
+        self.value = value
+        self.confidence = confidence
+        self.slot = slot
+
+    def __repr__(self) -> str:
+        return f"ValuePrediction(value={self.value}, conf={self.confidence}, slot={self.slot})"
+
+
+class ValuePredictor:
+    """Base class for load value predictors.
+
+    The engine calls :meth:`predict` at the rename/queue stage of a load;
+    it only acts on the result when the prediction is over the predictor's
+    confidence threshold (a ``None`` return means "not confident").
+    :meth:`train` is called with the architectural value when the load
+    retires.  Predictors count their own accuracy so experiments can report
+    predictor-level statistics independent of the pipeline.
+    """
+
+    def __init__(self) -> None:
+        self.lookups = 0
+        self.predictions = 0
+        self.correct = 0
+        self.incorrect = 0
+
+    # ------------------------------------------------------------------
+    def predict(self, inst: Instruction) -> ValuePrediction | None:
+        """Return a confident prediction for the load, or None."""
+        raise NotImplementedError
+
+    def predict_all(self, inst: Instruction) -> list[ValuePrediction]:
+        """Return every distinct candidate value over threshold.
+
+        Used for multiple-value MTVP (Section 5.6).  The default returns
+        the single best prediction; predictors that can source several
+        values (Wang–Franklin) override this.
+        """
+        best = self.predict(inst)
+        return [] if best is None else [best]
+
+    def train(self, inst: Instruction, actual: int) -> None:
+        """Update tables with the committed load value."""
+        raise NotImplementedError
+
+    def speculative_update(self, inst: Instruction, predicted: int) -> None:
+        """Optional speculative table update at the queue stage.
+
+        The paper updates the stride component speculatively where the
+        predictor is consulted; predictors without such a component ignore
+        this hook.
+        """
+
+    # ------------------------------------------------------------------
+    def record_outcome(self, was_correct: bool) -> None:
+        """Book-keeping helper the engine calls when a used prediction resolves."""
+        self.predictions += 1
+        if was_correct:
+            self.correct += 1
+        else:
+            self.incorrect += 1
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of used predictions that were correct."""
+        if not self.predictions:
+            return 0.0
+        return self.correct / self.predictions

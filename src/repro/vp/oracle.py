@@ -1,0 +1,29 @@
+"""Oracle value predictor (Section 5.1 limit study).
+
+"The oracle predictor always predicts the correct value for any load it
+chooses to predict."  In the trace-driven model the correct value travels
+with the instruction, so the oracle simply returns it with maximal
+confidence.  Which loads are *worth* predicting remains the job of the load
+selector — the oracle does not bypass the criticality decision.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Instruction, OpClass
+from repro.vp.base import ValuePrediction, ValuePredictor
+
+
+class OraclePredictor(ValuePredictor):
+    """Always-correct predictor used for the potential study (Figure 1)."""
+
+    #: Confidence reported for every oracle prediction.
+    MAX_CONFIDENCE = 32
+
+    def predict(self, inst: Instruction) -> ValuePrediction | None:
+        if inst.op is not OpClass.LOAD or inst.value is None:
+            return None
+        self.lookups += 1
+        return ValuePrediction(inst.value, self.MAX_CONFIDENCE)
+
+    def train(self, inst: Instruction, actual: int) -> None:
+        """The oracle has no state to train."""

@@ -1,0 +1,117 @@
+"""Last-value and stride predictors.
+
+These are the classic Lipasti/Shen-style predictors.  They serve three
+purposes in the reproduction: readable baselines for unit tests, building
+blocks documented by the Wang–Franklin hybrid, and cheap predictors for
+the examples.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Instruction, OpClass
+from repro.vp.base import ValuePrediction, ValuePredictor
+
+_MASK64 = (1 << 64) - 1
+
+
+class LastValuePredictor(ValuePredictor):
+    """Predicts each static load will repeat its last committed value.
+
+    Confidence is a saturating counter per entry, incremented on repeats
+    and reset on changes; predictions are offered once it reaches
+    ``threshold``.
+    """
+
+    def __init__(self, entries: int = 4096, threshold: int = 2, max_conf: int = 8) -> None:
+        super().__init__()
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.threshold = threshold
+        self.max_conf = max_conf
+        # pc tag -> [last_value, confidence]
+        self._table: list[list[int] | None] = [None] * entries
+        self._mask = entries - 1
+
+    def _entry(self, pc: int) -> list[int] | None:
+        entry = self._table[(pc >> 2) & self._mask]
+        if entry is None or entry[0] != pc:
+            return None
+        return entry
+
+    def predict(self, inst: Instruction) -> ValuePrediction | None:
+        if inst.op is not OpClass.LOAD:
+            return None
+        self.lookups += 1
+        entry = self._entry(inst.pc)
+        if entry is None or entry[2] < self.threshold:
+            return None
+        return ValuePrediction(entry[1], entry[2])
+
+    def train(self, inst: Instruction, actual: int) -> None:
+        idx = (inst.pc >> 2) & self._mask
+        entry = self._table[idx]
+        if entry is None or entry[0] != inst.pc:
+            self._table[idx] = [inst.pc, actual, 0]
+            return
+        if entry[1] == actual:
+            entry[2] = min(entry[2] + 1, self.max_conf)
+        else:
+            entry[1] = actual
+            entry[2] = 0
+
+
+class StridePredictor(ValuePredictor):
+    """Predicts ``last_value + stride`` per static load.
+
+    The stride must be observed twice in a row before the entry gains
+    confidence (the standard two-delta rule).  The speculative-update hook
+    advances ``last_value`` by the stride when a prediction is consumed, so
+    back-to-back in-flight predictions of the same PC chain correctly — the
+    behaviour the paper notes for the queue-stage stride update.
+    """
+
+    def __init__(self, entries: int = 4096, threshold: int = 2, max_conf: int = 8) -> None:
+        super().__init__()
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.threshold = threshold
+        self.max_conf = max_conf
+        # pc tag -> [pc, last_value, stride, confidence, last_committed];
+        # last_value is the (possibly speculative) head used to predict,
+        # last_committed anchors commit-time stride computation
+        self._table: list[list[int] | None] = [None] * entries
+        self._mask = entries - 1
+
+    def predict(self, inst: Instruction) -> ValuePrediction | None:
+        if inst.op is not OpClass.LOAD:
+            return None
+        self.lookups += 1
+        idx = (inst.pc >> 2) & self._mask
+        entry = self._table[idx]
+        if entry is None or entry[0] != inst.pc or entry[3] < self.threshold:
+            return None
+        return ValuePrediction((entry[1] + entry[2]) & _MASK64, entry[3])
+
+    def speculative_update(self, inst: Instruction, predicted: int) -> None:
+        idx = (inst.pc >> 2) & self._mask
+        entry = self._table[idx]
+        if entry is not None and entry[0] == inst.pc:
+            entry[1] = predicted & _MASK64
+
+    def train(self, inst: Instruction, actual: int) -> None:
+        actual &= _MASK64
+        idx = (inst.pc >> 2) & self._mask
+        entry = self._table[idx]
+        if entry is None or entry[0] != inst.pc:
+            self._table[idx] = [inst.pc, actual, 0, 0, actual]
+            return
+        stride = (actual - entry[4]) & _MASK64
+        if stride == entry[2]:
+            entry[3] = min(entry[3] + 1, self.max_conf)
+        else:
+            entry[2] = stride
+            entry[3] = 0
+        entry[1] = actual
+        entry[4] = actual

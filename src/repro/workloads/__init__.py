@@ -1,0 +1,47 @@
+"""Synthetic SPEC CPU2000 workload models.
+
+The paper evaluates on SPEC CPU2000 traces taken at early single SimPoints.
+Those binaries and traces are not available here, so this package provides
+the documented substitution (see DESIGN.md): for every benchmark/input pair
+appearing in the paper's figures there is a :class:`WorkloadSpec` whose
+generated instruction trace pins the four properties the paper's effects
+depend on — cache-miss profile, load-value predictability, dependence
+structure behind loads, and branch predictability.
+
+Use :func:`get_workload` / :data:`SPEC_INT` / :data:`SPEC_FP` to enumerate
+the suite, and :meth:`Workload.trace` to materialize instructions.
+"""
+
+from repro.workloads.generator import Workload
+from repro.workloads.spec import (
+    AddressPattern,
+    BranchModel,
+    BranchSpec,
+    StreamSpec,
+    ValueClass,
+    ValueMix,
+    WorkloadSpec,
+)
+from repro.workloads.suite import (
+    ALL_WORKLOADS,
+    SPEC_FP,
+    SPEC_INT,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "AddressPattern",
+    "BranchModel",
+    "BranchSpec",
+    "SPEC_FP",
+    "SPEC_INT",
+    "StreamSpec",
+    "ValueClass",
+    "ValueMix",
+    "Workload",
+    "WorkloadSpec",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,118 @@
+"""Binary trace files: save and load instruction traces.
+
+A compact fixed-record format so generated workloads (or traces converted
+from other tools) can be stored, diffed and re-simulated bit-identically.
+
+Record layout (little-endian, 32 bytes per instruction):
+
+=======  =====  ==========================================================
+offset   type   field
+=======  =====  ==========================================================
+0        u32    pc
+4        u8     op class
+5        i8     dst register (-1 = none)
+6        u8     source count (0-3)
+7        u8     flags (bit0: has addr, bit1: has value, bit2: taken,
+                bit3: has taken)
+8        3*u8   source registers (padded with 0)
+11       u8     reserved
+12       u64    address (0 when absent)
+20       u64    value (0 when absent)
+28       u32    reserved
+=======  =====  ==========================================================
+
+The file begins with a 16-byte header: magic ``b"RVPT"``, format version
+(u32), instruction count (u64).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.isa import Instruction, OpClass
+
+_MAGIC = b"RVPT"
+_VERSION = 1
+_HEADER = struct.Struct("<4sIQ")
+_RECORD = struct.Struct("<IbbBB3sBQQI")
+
+_FLAG_ADDR = 1
+_FLAG_VALUE = 2
+_FLAG_TAKEN = 4
+_FLAG_HAS_TAKEN = 8
+
+
+def save_trace(trace: list[Instruction], path: str | Path) -> None:
+    """Write ``trace`` to ``path`` in the binary trace format."""
+    path = Path(path)
+    with path.open("wb") as f:
+        f.write(_HEADER.pack(_MAGIC, _VERSION, len(trace)))
+        for inst in trace:
+            flags = 0
+            if inst.addr is not None:
+                flags |= _FLAG_ADDR
+            if inst.value is not None:
+                flags |= _FLAG_VALUE
+            if inst.taken is not None:
+                flags |= _FLAG_HAS_TAKEN
+                if inst.taken:
+                    flags |= _FLAG_TAKEN
+            srcs = bytes(inst.srcs) + b"\x00" * (3 - len(inst.srcs))
+            f.write(
+                _RECORD.pack(
+                    inst.pc,
+                    int(inst.op),
+                    inst.dst if inst.dst is not None else -1,
+                    len(inst.srcs),
+                    flags,
+                    srcs,
+                    0,
+                    inst.addr or 0,
+                    inst.value or 0,
+                    0,
+                )
+            )
+
+
+def load_trace(path: str | Path) -> list[Instruction]:
+    """Read a trace previously written by :func:`save_trace`.
+
+    Raises:
+        ValueError: On a bad magic number, unsupported version, or a
+            truncated file.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < _HEADER.size:
+        raise ValueError(f"{path}: not a trace file (too short)")
+    magic, version, count = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise ValueError(f"{path}: bad magic {magic!r}")
+    if version != _VERSION:
+        raise ValueError(f"{path}: unsupported version {version}")
+    expected = _HEADER.size + count * _RECORD.size
+    if len(data) < expected:
+        raise ValueError(f"{path}: truncated ({len(data)} < {expected} bytes)")
+    trace: list[Instruction] = []
+    offset = _HEADER.size
+    for _ in range(count):
+        pc, op, dst, nsrcs, flags, srcs, _r0, addr, value, _r1 = _RECORD.unpack_from(
+            data, offset
+        )
+        offset += _RECORD.size
+        taken = None
+        if flags & _FLAG_HAS_TAKEN:
+            taken = bool(flags & _FLAG_TAKEN)
+        trace.append(
+            Instruction(
+                pc=pc,
+                op=OpClass(op),
+                srcs=tuple(srcs[:nsrcs]),
+                dst=dst if dst >= 0 else None,
+                addr=addr if flags & _FLAG_ADDR else None,
+                value=value if flags & _FLAG_VALUE else None,
+                taken=taken,
+            )
+        )
+    return trace

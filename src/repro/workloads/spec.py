@@ -1,0 +1,186 @@
+"""Declarative workload specifications.
+
+A :class:`WorkloadSpec` captures, per modeled benchmark, the knobs that
+drive every effect studied in the paper:
+
+* **address streams** → cache-miss profile and prefetcher friendliness,
+* **value mixes** → load-value predictability (what the value predictors
+  can and cannot learn),
+* **dependence shape** (``chain_depth`` / ``independent_ops`` /
+  ``serial_address``) → how much ILP a wide window can find without value
+  prediction,
+* **branch model** → front-end quality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class AddressPattern(enum.Enum):
+    """How a memory stream walks its region."""
+
+    #: linear walk with a fixed stride (prefetcher-friendly)
+    SEQUENTIAL = "sequential"
+    #: mostly-strided walk with random breaks (pointer-chase layouts)
+    CHASE = "chase"
+    #: uniform random within the region (prefetcher-hostile)
+    RANDOM = "random"
+    #: small region revisited repeatedly (cache resident)
+    RESIDENT = "resident"
+
+
+class ValueClass(enum.Enum):
+    """What the values returned by a static load look like over time."""
+
+    #: the same value every time (last-value / learned-value predictable)
+    CONSTANT = "constant"
+    #: arithmetic progression (stride / DFCM predictable)
+    STRIDED = "strided"
+    #: cycles through a small set of values (pattern predictable; the
+    #: multiple-value experiments rely on several candidates being live)
+    PATTERN = "pattern"
+    #: essentially unpredictable
+    RANDOM = "random"
+
+
+class BranchModel(enum.Enum):
+    """Outcome process for a static branch."""
+
+    #: taken (period-1) of every (period) executions — loop back-edges
+    LOOP = "loop"
+    #: independent Bernoulli with probability ``param``
+    BIASED = "biased"
+    #: deterministic repeating pattern of length ``param``
+    PATTERN = "pattern"
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamSpec:
+    """One memory address stream.
+
+    Args:
+        pattern: Walk type.
+        region_bytes: Footprint; relative to the 64KB/512KB/4MB hierarchy
+            this determines which level the stream lives in.
+        stride: Byte step per loop iteration for SEQUENTIAL/CHASE walks.
+        jump_prob: For CHASE — per-iteration probability of a random jump,
+            which breaks prefetch streams and value strides together.
+        weight: Relative probability a static memory slot binds to this
+            stream; the lever that sets what fraction of a workload's
+            accesses live in each footprint.
+    """
+
+    pattern: AddressPattern
+    region_bytes: int
+    stride: int = 64
+    jump_prob: float = 0.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.region_bytes <= 0:
+            raise ValueError("region_bytes must be positive")
+        if not 0.0 <= self.jump_prob <= 1.0:
+            raise ValueError("jump_prob must be a probability")
+        if self.weight < 0:
+            raise ValueError("weight must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class ValueMix:
+    """A weighted value class assigned to static loads.
+
+    Args:
+        vclass: The value behaviour.
+        weight: Relative probability a static load gets this class.
+        stride: Value delta per execution for STRIDED.
+        nvalues: Cycle length for PATTERN.
+        break_prob: For STRIDED/PATTERN — per-instance probability the
+            stream re-seeds randomly (caps achievable accuracy).
+    """
+
+    vclass: ValueClass
+    weight: float = 1.0
+    stride: int = 8
+    nvalues: int = 3
+    break_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("weight must be non-negative")
+        if not 0.0 <= self.break_prob <= 1.0:
+            raise ValueError("break_prob must be a probability")
+        if self.nvalues < 1:
+            raise ValueError("nvalues must be at least 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class BranchSpec:
+    """Outcome model shared by the static branches of a workload.
+
+    ``param`` is the loop/pattern period or the taken probability,
+    depending on the model.  ``noise`` flips a fraction of outcomes at
+    random, bounding achievable branch-prediction accuracy.
+    """
+
+    model: BranchModel = BranchModel.LOOP
+    param: float = 16
+    noise: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.noise <= 1.0:
+            raise ValueError("noise must be a probability")
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """Full description of one modeled benchmark.
+
+    The dynamic trace is a loop over ``blocks`` basic blocks.  Each block
+    contains ``loads_per_block`` load groups — a load, ``chain_depth``
+    dependent ALU ops, and ``independent_ops`` independent filler ops —
+    plus ``stores_per_block`` stores and a terminating branch.
+
+    ``serial_address`` makes every load of a CHASE stream depend on its own
+    previous instance (loop-carried pointer chase), the shape that defeats
+    wide-window machines but not value prediction (Section 5.7).
+    """
+
+    name: str
+    suite: str  # "int" or "fp"
+    description: str
+    streams: tuple[StreamSpec, ...]
+    value_mix: tuple[ValueMix, ...]
+    branch: BranchSpec = BranchSpec()
+    blocks: int = 12
+    loads_per_block: int = 3
+    chain_depth: int = 3
+    independent_ops: int = 4
+    stores_per_block: int = 1
+    fp_fraction: float = 0.0
+    serial_address: bool = False
+    #: fraction of block-ending branches that test *loaded data* (and so
+    #: resolve only when the load chain completes); the rest test induction
+    #: variables and resolve immediately, as most loop branches do
+    data_branch_frac: float = 0.25
+    default_length: int = 30_000
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("int", "fp"):
+            raise ValueError("suite must be 'int' or 'fp'")
+        if not self.streams:
+            raise ValueError("at least one address stream is required")
+        if not self.value_mix:
+            raise ValueError("at least one value mix entry is required")
+        if sum(m.weight for m in self.value_mix) <= 0:
+            raise ValueError("value mix weights must sum to a positive value")
+        if not 0.0 <= self.fp_fraction <= 1.0:
+            raise ValueError("fp_fraction must be a probability")
+        if not 0.0 <= self.data_branch_frac <= 1.0:
+            raise ValueError("data_branch_frac must be a probability")
+        for field in ("blocks", "loads_per_block", "chain_depth", "independent_ops"):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be non-negative")
+        if self.blocks < 1 or self.loads_per_block < 1:
+            raise ValueError("blocks and loads_per_block must be at least 1")

@@ -1,0 +1,528 @@
+"""The modeled SPEC CPU2000 suite.
+
+One entry per benchmark/input pair shown in the paper's figures (Figures 1,
+3, 4, 5).  Parameters pin each program's published *character* — memory
+footprint and access pattern, load-value locality, dependence shape, and
+branch behaviour — not its absolute IPC.  See DESIGN.md for the
+substitution rationale and EXPERIMENTS.md for the calibration notes.
+
+Calibration model against the Table 1 hierarchy (64KB L1 / 512KB L2 /
+4MB L3 / 1000-cycle memory, aggressive stream prefetcher):
+
+* RESIDENT streams <= 48KB live in the L1 after warm-up; ~256KB-2MB
+  regions live in the L2/L3.
+* SEQUENTIAL and low-jump CHASE walks are largely covered by the stream
+  prefetcher (as on the paper's baseline); their residual cost is the
+  prefetch fill latency.
+* RANDOM streams over tens of MB, and CHASE jumps, produce the hard
+  memory misses that threaded value prediction targets.  Their stream
+  ``weight`` sets the miss spacing: roughly one memory miss per
+  ``body/(loads*weight)`` instructions.
+* ``serial_address`` threads a load's address through its own previous
+  value — the dependence shape that defeats wide windows but not value
+  prediction (Section 5.7).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generator import Workload
+from repro.workloads.spec import (
+    AddressPattern,
+    BranchModel,
+    BranchSpec,
+    StreamSpec,
+    ValueMix,
+    ValueClass,
+    WorkloadSpec,
+)
+
+_KB = 1024
+_MB = 1024 * 1024
+
+# short aliases keep the table below readable
+_SEQ = AddressPattern.SEQUENTIAL
+_CHASE = AddressPattern.CHASE
+_RAND = AddressPattern.RANDOM
+_RES = AddressPattern.RESIDENT
+_CONST = ValueClass.CONSTANT
+_STRIDE = ValueClass.STRIDED
+_PAT = ValueClass.PATTERN
+_RANDV = ValueClass.RANDOM
+
+_SPECS: dict[str, WorkloadSpec] = {}
+
+
+def _define(spec: WorkloadSpec) -> None:
+    if spec.name in _SPECS:
+        raise ValueError(f"duplicate workload {spec.name}")
+    _SPECS[spec.name] = spec
+
+
+# ----------------------------------------------------------------------
+# SPEC INT 2000
+# ----------------------------------------------------------------------
+_define(WorkloadSpec(
+    name="gzip g", suite="int",
+    description="compression, graphic input; hot window is L1-resident, "
+                "little for value prediction to win",
+    streams=(StreamSpec(_RES, 48 * _KB, stride=64, weight=0.85),
+             StreamSpec(_SEQ, 2 * _MB, stride=128, weight=0.15)),
+    value_mix=(ValueMix(_CONST, 0.25), ValueMix(_STRIDE, 0.2, stride=1),
+               ValueMix(_RANDV, 0.55)),
+    branch=BranchSpec(BranchModel.PATTERN, 6, noise=0.03),
+    blocks=10, loads_per_block=3, chain_depth=2, independent_ops=5,
+))
+
+_define(WorkloadSpec(
+    name="gzip r", suite="int",
+    description="compression, random input; as gzip g with slightly poorer "
+                "locality on both axes",
+    streams=(StreamSpec(_RES, 48 * _KB, stride=64, weight=0.8),
+             StreamSpec(_SEQ, 4 * _MB, stride=128, weight=0.2)),
+    value_mix=(ValueMix(_CONST, 0.2), ValueMix(_STRIDE, 0.15, stride=1),
+               ValueMix(_RANDV, 0.65)),
+    branch=BranchSpec(BranchModel.PATTERN, 6, noise=0.035),
+    blocks=10, loads_per_block=3, chain_depth=2, independent_ops=5,
+))
+
+_define(WorkloadSpec(
+    name="vpr r", suite="int",
+    description="place & route; serial netlist chase missing past the L3 "
+                "with highly repetitive node values — a big MTVP winner",
+    streams=(StreamSpec(_CHASE, 24 * _MB, stride=768, jump_prob=0.18,
+                        weight=0.45),
+             StreamSpec(_RES, 48 * _KB, stride=64, weight=0.55)),
+    value_mix=(ValueMix(_CONST, 0.5), ValueMix(_PAT, 0.3, nvalues=3, break_prob=0.12),
+               ValueMix(_RANDV, 0.2)),
+    branch=BranchSpec(BranchModel.PATTERN, 8, noise=0.03),
+    blocks=12, loads_per_block=4, chain_depth=3, independent_ops=4,
+    serial_address=True,
+))
+
+_define(WorkloadSpec(
+    name="gcc 1", suite="int",
+    description="compiler, input 166; resident tables plus IR walks that "
+                "spill past the L3",
+    streams=(StreamSpec(_RES, 48 * _KB, stride=64, weight=0.7),
+             StreamSpec(_CHASE, 8 * _MB, stride=448, jump_prob=0.1,
+                        weight=0.3)),
+    value_mix=(ValueMix(_CONST, 0.35), ValueMix(_PAT, 0.2, nvalues=4, break_prob=0.12),
+               ValueMix(_RANDV, 0.45)),
+    branch=BranchSpec(BranchModel.PATTERN, 8, noise=0.026),
+    blocks=16, loads_per_block=3, chain_depth=2, independent_ops=5,
+    serial_address=True,
+))
+
+_define(WorkloadSpec(
+    name="gcc e", suite="int",
+    description="compiler, expr input; the smallest gcc working set",
+    streams=(StreamSpec(_RES, 48 * _KB, stride=64, weight=0.78),
+             StreamSpec(_CHASE, 3 * _MB, stride=448, jump_prob=0.3,
+                        weight=0.22)),
+    value_mix=(ValueMix(_CONST, 0.35), ValueMix(_PAT, 0.2, nvalues=4, break_prob=0.12),
+               ValueMix(_RANDV, 0.45)),
+    branch=BranchSpec(BranchModel.PATTERN, 8, noise=0.022),
+    blocks=16, loads_per_block=3, chain_depth=2, independent_ops=5,
+))
+
+_define(WorkloadSpec(
+    name="gcc 2", suite="int",
+    description="compiler, 200 input; the largest gcc IR, more hard misses",
+    streams=(StreamSpec(_RES, 48 * _KB, stride=64, weight=0.62),
+             StreamSpec(_CHASE, 12 * _MB, stride=448, jump_prob=0.12,
+                        weight=0.38)),
+    value_mix=(ValueMix(_CONST, 0.35), ValueMix(_PAT, 0.15, nvalues=4, break_prob=0.12),
+               ValueMix(_RANDV, 0.5)),
+    branch=BranchSpec(BranchModel.PATTERN, 8, noise=0.03),
+    blocks=16, loads_per_block=3, chain_depth=2, independent_ops=5,
+    serial_address=True,
+))
+
+_define(WorkloadSpec(
+    name="gcc i", suite="int",
+    description="compiler, integrate input; the most pointer-intensive gcc "
+                "run, serial IR chases",
+    streams=(StreamSpec(_RES, 48 * _KB, stride=64, weight=0.65),
+             StreamSpec(_CHASE, 8 * _MB, stride=448, jump_prob=0.12,
+                        weight=0.35)),
+    value_mix=(ValueMix(_CONST, 0.4), ValueMix(_PAT, 0.15, nvalues=4, break_prob=0.12),
+               ValueMix(_RANDV, 0.45)),
+    branch=BranchSpec(BranchModel.PATTERN, 8, noise=0.026),
+    blocks=16, loads_per_block=3, chain_depth=2, independent_ops=5,
+    serial_address=True,
+))
+
+_define(WorkloadSpec(
+    name="mcf", suite="int",
+    description="network simplex; serial pointer chase over a ~100MB arc "
+                "array with malloc-ordered (stride-predictable) pointers — "
+                "the canonical MTVP winner",
+    streams=(StreamSpec(_CHASE, 96 * _MB, stride=1088, jump_prob=0.15,
+                        weight=0.6),
+             StreamSpec(_RES, 32 * _KB, stride=64, weight=0.4)),
+    value_mix=(ValueMix(_CONST, 0.45), ValueMix(_STRIDE, 0.3, stride=1088,
+                                                break_prob=0.04),
+               ValueMix(_RANDV, 0.25)),
+    branch=BranchSpec(BranchModel.PATTERN, 8, noise=0.018),
+    blocks=8, loads_per_block=4, chain_depth=3, independent_ops=4,
+    serial_address=True,
+))
+
+_define(WorkloadSpec(
+    name="crafty", suite="int",
+    description="chess; L1-resident bitboards, unpredictable values — "
+                "value prediction rarely pays here",
+    streams=(StreamSpec(_RES, 40 * _KB, stride=64, weight=0.9),
+             StreamSpec(_RAND, 384 * _KB, weight=0.1)),
+    value_mix=(ValueMix(_RANDV, 0.8), ValueMix(_CONST, 0.2)),
+    branch=BranchSpec(BranchModel.PATTERN, 10, noise=0.04),
+    blocks=14, loads_per_block=3, chain_depth=2, independent_ops=5,
+))
+
+_define(WorkloadSpec(
+    name="parser", suite="int",
+    description="link grammar; dictionary chase whose values cycle through "
+                "more candidates than one prediction can follow (the "
+                "multiple-value story of Section 5.6)",
+    streams=(StreamSpec(_CHASE, 12 * _MB, stride=704, jump_prob=0.08,
+                        weight=0.35),
+             StreamSpec(_RES, 48 * _KB, stride=64, weight=0.65)),
+    value_mix=(ValueMix(_PAT, 0.45, nvalues=5, break_prob=0.4),
+               ValueMix(_CONST, 0.1), ValueMix(_RANDV, 0.45)),
+    branch=BranchSpec(BranchModel.PATTERN, 8, noise=0.03),
+    blocks=12, loads_per_block=3, chain_depth=2, independent_ops=4,
+    serial_address=True,
+))
+
+_define(WorkloadSpec(
+    name="eon r", suite="int",
+    description="C++ ray tracer (rushmeier); resident scene, decent ILP, "
+                "nothing for VP to chase",
+    streams=(StreamSpec(_RES, 48 * _KB, stride=64, weight=0.92),
+             StreamSpec(_RAND, 512 * _KB, weight=0.08)),
+    value_mix=(ValueMix(_CONST, 0.3), ValueMix(_RANDV, 0.7)),
+    branch=BranchSpec(BranchModel.PATTERN, 8, noise=0.014),
+    blocks=10, loads_per_block=3, chain_depth=2, independent_ops=7,
+    fp_fraction=0.2,
+))
+
+_define(WorkloadSpec(
+    name="perlbmk", suite="int",
+    description="perl interpreter; hash/opcode dispatch, mostly warm with "
+                "occasional deep misses",
+    streams=(StreamSpec(_RES, 48 * _KB, stride=64, weight=0.8),
+             StreamSpec(_CHASE, 2 * _MB, stride=320, jump_prob=0.4,
+                        weight=0.2)),
+    value_mix=(ValueMix(_CONST, 0.4), ValueMix(_PAT, 0.15, nvalues=3, break_prob=0.12),
+               ValueMix(_RANDV, 0.45)),
+    branch=BranchSpec(BranchModel.PATTERN, 6, noise=0.022),
+    blocks=14, loads_per_block=3, chain_depth=2, independent_ops=4,
+))
+
+_define(WorkloadSpec(
+    name="gap", suite="int",
+    description="group theory; strided bag sweeps with a moderate hard-miss "
+                "residue and strided element values",
+    streams=(StreamSpec(_SEQ, 24 * _MB, stride=192, weight=0.55),
+             StreamSpec(_RES, 48 * _KB, stride=64, weight=0.33),
+             StreamSpec(_RAND, 12 * _MB, weight=0.05)),
+    value_mix=(ValueMix(_STRIDE, 0.35, stride=8), ValueMix(_CONST, 0.25),
+               ValueMix(_RANDV, 0.4)),
+    branch=BranchSpec(BranchModel.PATTERN, 8, noise=0.014),
+    blocks=12, loads_per_block=3, chain_depth=2, independent_ops=5,
+))
+
+_define(WorkloadSpec(
+    name="vortex", suite="int",
+    description="OO database; object-graph chase past the L3 with very "
+                "repetitive field values (status words, type tags)",
+    streams=(StreamSpec(_CHASE, 16 * _MB, stride=576, jump_prob=0.15,
+                        weight=0.4),
+             StreamSpec(_RES, 48 * _KB, stride=64, weight=0.6)),
+    value_mix=(ValueMix(_CONST, 0.55), ValueMix(_PAT, 0.2, nvalues=3, break_prob=0.12),
+               ValueMix(_RANDV, 0.25)),
+    branch=BranchSpec(BranchModel.PATTERN, 8, noise=0.014),
+    blocks=12, loads_per_block=4, chain_depth=2, independent_ops=5,
+    serial_address=True,
+))
+
+_define(WorkloadSpec(
+    name="bzip g", suite="int",
+    description="bzip2, graphic input; block sorting in an L2-sized window",
+    streams=(StreamSpec(_RES, 48 * _KB, stride=64, weight=0.7),
+             StreamSpec(_RAND, 1 * _MB, weight=0.2),
+             StreamSpec(_SEQ, 2 * _MB, stride=64, weight=0.1)),
+    value_mix=(ValueMix(_STRIDE, 0.25, stride=1), ValueMix(_CONST, 0.2),
+               ValueMix(_RANDV, 0.55)),
+    branch=BranchSpec(BranchModel.PATTERN, 8, noise=0.03),
+    blocks=10, loads_per_block=3, chain_depth=2, independent_ops=5,
+))
+
+_define(WorkloadSpec(
+    name="bzip p", suite="int",
+    description="bzip2, program input; slightly more regular than graphic",
+    streams=(StreamSpec(_RES, 48 * _KB, stride=64, weight=0.75),
+             StreamSpec(_RAND, 768 * _KB, weight=0.15),
+             StreamSpec(_SEQ, 2 * _MB, stride=64, weight=0.1)),
+    value_mix=(ValueMix(_STRIDE, 0.3, stride=1), ValueMix(_CONST, 0.25),
+               ValueMix(_RANDV, 0.45)),
+    branch=BranchSpec(BranchModel.PATTERN, 8, noise=0.026),
+    blocks=10, loads_per_block=3, chain_depth=2, independent_ops=5,
+))
+
+_define(WorkloadSpec(
+    name="twolf", suite="int",
+    description="standard-cell placement; netlist chase with patterned cost "
+                "values, a strong MTVP case",
+    streams=(StreamSpec(_CHASE, 8 * _MB, stride=384, jump_prob=0.15,
+                        weight=0.4),
+             StreamSpec(_RES, 48 * _KB, stride=64, weight=0.6)),
+    value_mix=(ValueMix(_PAT, 0.35, nvalues=3, break_prob=0.12), ValueMix(_CONST, 0.35),
+               ValueMix(_RANDV, 0.3)),
+    branch=BranchSpec(BranchModel.PATTERN, 8, noise=0.03),
+    blocks=12, loads_per_block=3, chain_depth=2, independent_ops=5,
+    serial_address=True,
+))
+
+# ----------------------------------------------------------------------
+# SPEC FP 2000
+# ----------------------------------------------------------------------
+_define(WorkloadSpec(
+    name="wupwise", suite="fp",
+    description="lattice QCD; prefetch-covered unit strides with a small "
+                "irregular residue, strided data values",
+    streams=(StreamSpec(_SEQ, 32 * _MB, stride=256, weight=0.55),
+             StreamSpec(_RES, 48 * _KB, stride=64, weight=0.37),
+             StreamSpec(_RAND, 24 * _MB, weight=0.08)),
+    value_mix=(ValueMix(_STRIDE, 0.4, stride=16), ValueMix(_CONST, 0.3),
+               ValueMix(_RANDV, 0.3)),
+    branch=BranchSpec(BranchModel.LOOP, 64, noise=0.002),
+    blocks=8, loads_per_block=4, chain_depth=2, independent_ops=10,
+    fp_fraction=0.6,
+))
+
+_define(WorkloadSpec(
+    name="swim", suite="fp",
+    description="shallow water; giant covered stencil streams plus a hard "
+                "irregular residue; values alternate among a few field "
+                "states (the multiple-value showcase, Section 5.6)",
+    streams=(StreamSpec(_SEQ, 64 * _MB, stride=256, weight=0.5),
+             StreamSpec(_SEQ, 64 * _MB, stride=512, weight=0.28),
+             StreamSpec(_RAND, 48 * _MB, weight=0.22)),
+    value_mix=(ValueMix(_PAT, 0.62, nvalues=4, break_prob=0.4),
+               ValueMix(_RANDV, 0.38)),
+    branch=BranchSpec(BranchModel.LOOP, 128, noise=0.001),
+    blocks=6, loads_per_block=5, chain_depth=2, independent_ops=12,
+    fp_fraction=0.65,
+))
+
+_define(WorkloadSpec(
+    name="mgrid", suite="fp",
+    description="multigrid; covered strided sweeps at several granularities",
+    streams=(StreamSpec(_SEQ, 24 * _MB, stride=256, weight=0.6),
+             StreamSpec(_SEQ, 24 * _MB, stride=1024, weight=0.3),
+             StreamSpec(_RAND, 16 * _MB, weight=0.1)),
+    value_mix=(ValueMix(_STRIDE, 0.45, stride=8), ValueMix(_CONST, 0.25),
+               ValueMix(_RANDV, 0.3)),
+    branch=BranchSpec(BranchModel.LOOP, 64, noise=0.002),
+    blocks=6, loads_per_block=4, chain_depth=2, independent_ops=11,
+    fp_fraction=0.6,
+))
+
+_define(WorkloadSpec(
+    name="applu", suite="fp",
+    description="SSOR PDE solver; blocked strided accesses, modest residue",
+    streams=(StreamSpec(_SEQ, 16 * _MB, stride=320, weight=0.62),
+             StreamSpec(_RES, 48 * _KB, stride=64, weight=0.28),
+             StreamSpec(_RAND, 12 * _MB, weight=0.1)),
+    value_mix=(ValueMix(_STRIDE, 0.35, stride=8), ValueMix(_CONST, 0.3),
+               ValueMix(_RANDV, 0.35)),
+    branch=BranchSpec(BranchModel.LOOP, 48, noise=0.003),
+    blocks=8, loads_per_block=4, chain_depth=2, independent_ops=10,
+    fp_fraction=0.6,
+))
+
+_define(WorkloadSpec(
+    name="mesa", suite="fp",
+    description="software rasterizer; resident state, very few deep misses",
+    streams=(StreamSpec(_RES, 48 * _KB, stride=64, weight=0.9),
+             StreamSpec(_SEQ, 2 * _MB, stride=64, weight=0.1)),
+    value_mix=(ValueMix(_CONST, 0.4), ValueMix(_RANDV, 0.6)),
+    branch=BranchSpec(BranchModel.PATTERN, 8, noise=0.014),
+    blocks=10, loads_per_block=3, chain_depth=2, independent_ops=7,
+    fp_fraction=0.45,
+))
+
+_define(WorkloadSpec(
+    name="galgel", suite="fp",
+    description="Galerkin fluid dynamics; dense algebra whose coefficient "
+                "loads are highly patterned, with a hard gather residue",
+    streams=(StreamSpec(_SEQ, 8 * _MB, stride=256, weight=0.55),
+             StreamSpec(_RAND, 12 * _MB, weight=0.18),
+             StreamSpec(_RES, 48 * _KB, stride=64, weight=0.27)),
+    value_mix=(ValueMix(_CONST, 0.45), ValueMix(_PAT, 0.25, nvalues=3, break_prob=0.12),
+               ValueMix(_RANDV, 0.3)),
+    branch=BranchSpec(BranchModel.LOOP, 32, noise=0.004),
+    blocks=8, loads_per_block=4, chain_depth=2, independent_ops=10,
+    fp_fraction=0.6,
+))
+
+_define(WorkloadSpec(
+    name="art 1", suite="fp",
+    description="neural net, ref 1; scans a >L3 weight array with "
+                "overwhelmingly saturated (constant) cell values — huge "
+                "latency exposure and huge value locality together",
+    streams=(StreamSpec(_RAND, 10 * _MB, weight=0.3),
+             StreamSpec(_SEQ, 10 * _MB, stride=256, weight=0.7)),
+    value_mix=(ValueMix(_CONST, 0.65), ValueMix(_PAT, 0.15, nvalues=2, break_prob=0.12),
+               ValueMix(_RANDV, 0.2)),
+    branch=BranchSpec(BranchModel.LOOP, 96, noise=0.002),
+    blocks=6, loads_per_block=5, chain_depth=2, independent_ops=8,
+    fp_fraction=0.55,
+))
+
+_define(WorkloadSpec(
+    name="art 4", suite="fp",
+    description="neural net, ref 4; as art 1 with a different mix of "
+                "saturated cells",
+    streams=(StreamSpec(_RAND, 12 * _MB, weight=0.26),
+             StreamSpec(_SEQ, 12 * _MB, stride=256, weight=0.74)),
+    value_mix=(ValueMix(_CONST, 0.55), ValueMix(_PAT, 0.2, nvalues=2, break_prob=0.12),
+               ValueMix(_RANDV, 0.25)),
+    branch=BranchSpec(BranchModel.LOOP, 96, noise=0.002),
+    blocks=6, loads_per_block=5, chain_depth=2, independent_ops=8,
+    fp_fraction=0.55,
+))
+
+_define(WorkloadSpec(
+    name="equake", suite="fp",
+    description="earthquake FEM; serial irregular mesh chase with moderate "
+                "value locality",
+    streams=(StreamSpec(_CHASE, 20 * _MB, stride=896, jump_prob=0.07,
+                        weight=0.3),
+             StreamSpec(_SEQ, 8 * _MB, stride=256, weight=0.65)),
+    value_mix=(ValueMix(_CONST, 0.35), ValueMix(_STRIDE, 0.2, stride=24),
+               ValueMix(_RANDV, 0.45)),
+    branch=BranchSpec(BranchModel.LOOP, 48, noise=0.004),
+    blocks=8, loads_per_block=4, chain_depth=2, independent_ops=9,
+    fp_fraction=0.55, serial_address=True,
+))
+
+_define(WorkloadSpec(
+    name="facerec", suite="fp",
+    description="face recognition; covered gallery sweeps with a gather "
+                "residue, patterned features",
+    streams=(StreamSpec(_SEQ, 16 * _MB, stride=256, weight=0.65),
+             StreamSpec(_RAND, 8 * _MB, weight=0.12),
+             StreamSpec(_RES, 48 * _KB, stride=64, weight=0.23)),
+    value_mix=(ValueMix(_PAT, 0.35, nvalues=3, break_prob=0.12), ValueMix(_CONST, 0.25),
+               ValueMix(_RANDV, 0.4)),
+    branch=BranchSpec(BranchModel.LOOP, 64, noise=0.003),
+    blocks=8, loads_per_block=4, chain_depth=2, independent_ops=9,
+    fp_fraction=0.55,
+))
+
+_define(WorkloadSpec(
+    name="ammp", suite="fp",
+    description="molecular dynamics; serial neighbour-list chase with poor "
+                "value locality — latency exposure VP struggles to exploit "
+                "with realistic predictors",
+    streams=(StreamSpec(_CHASE, 28 * _MB, stride=1216, jump_prob=0.08,
+                        weight=0.25),
+             StreamSpec(_RES, 48 * _KB, stride=64, weight=0.7)),
+    value_mix=(ValueMix(_RANDV, 0.65), ValueMix(_CONST, 0.35)),
+    branch=BranchSpec(BranchModel.LOOP, 32, noise=0.01),
+    blocks=8, loads_per_block=4, chain_depth=2, independent_ops=8,
+    fp_fraction=0.55, serial_address=True,
+))
+
+_define(WorkloadSpec(
+    name="lucas", suite="fp",
+    description="Lucas-Lehmer; giant covered FFT sweeps, strided values",
+    streams=(StreamSpec(_SEQ, 64 * _MB, stride=512, weight=0.62),
+             StreamSpec(_SEQ, 64 * _MB, stride=256, weight=0.3),
+             StreamSpec(_RAND, 32 * _MB, weight=0.08)),
+    value_mix=(ValueMix(_STRIDE, 0.4, stride=32), ValueMix(_CONST, 0.2),
+               ValueMix(_RANDV, 0.4)),
+    branch=BranchSpec(BranchModel.LOOP, 128, noise=0.001),
+    blocks=6, loads_per_block=4, chain_depth=2, independent_ops=11,
+    fp_fraction=0.65,
+))
+
+_define(WorkloadSpec(
+    name="fma3d", suite="fp",
+    description="crash FEM; mixed regular/irregular element data",
+    streams=(StreamSpec(_SEQ, 12 * _MB, stride=256, weight=0.55),
+             StreamSpec(_CHASE, 12 * _MB, stride=640, jump_prob=0.4,
+                        weight=0.25),
+             StreamSpec(_RES, 48 * _KB, stride=64, weight=0.2)),
+    value_mix=(ValueMix(_CONST, 0.3), ValueMix(_STRIDE, 0.25, stride=16),
+               ValueMix(_RANDV, 0.45)),
+    branch=BranchSpec(BranchModel.LOOP, 48, noise=0.005),
+    blocks=8, loads_per_block=4, chain_depth=2, independent_ops=9,
+    fp_fraction=0.55,
+))
+
+_define(WorkloadSpec(
+    name="sixtrack", suite="fp",
+    description="particle tracking; small hot loops, effectively resident",
+    streams=(StreamSpec(_RES, 48 * _KB, stride=64, weight=0.85),
+             StreamSpec(_SEQ, 1 * _MB, stride=64, weight=0.15)),
+    value_mix=(ValueMix(_CONST, 0.35), ValueMix(_STRIDE, 0.2, stride=8),
+               ValueMix(_RANDV, 0.45)),
+    branch=BranchSpec(BranchModel.LOOP, 32, noise=0.003),
+    blocks=8, loads_per_block=3, chain_depth=2, independent_ops=10,
+    fp_fraction=0.6,
+))
+
+_define(WorkloadSpec(
+    name="apsi", suite="fp",
+    description="meteorology; covered 3D grid sweeps, small residue",
+    streams=(StreamSpec(_SEQ, 12 * _MB, stride=256, weight=0.6),
+             StreamSpec(_SEQ, 12 * _MB, stride=768, weight=0.28),
+             StreamSpec(_RAND, 8 * _MB, weight=0.12)),
+    value_mix=(ValueMix(_STRIDE, 0.3, stride=8), ValueMix(_CONST, 0.3),
+               ValueMix(_RANDV, 0.4)),
+    branch=BranchSpec(BranchModel.LOOP, 48, noise=0.003),
+    blocks=8, loads_per_block=4, chain_depth=2, independent_ops=9,
+    fp_fraction=0.6,
+))
+
+# ----------------------------------------------------------------------
+# public accessors
+# ----------------------------------------------------------------------
+
+#: workload names in figure order
+SPEC_INT: tuple[str, ...] = tuple(n for n, s in _SPECS.items() if s.suite == "int")
+SPEC_FP: tuple[str, ...] = tuple(n for n, s in _SPECS.items() if s.suite == "fp")
+ALL_WORKLOADS: tuple[str, ...] = SPEC_INT + SPEC_FP
+
+_CACHE: dict[str, Workload] = {}
+
+
+def get_workload(name: str) -> Workload:
+    """Return the (cached) compiled workload for ``name``.
+
+    Raises:
+        KeyError: If the name is not part of the modeled suite.
+    """
+    if name not in _SPECS:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(ALL_WORKLOADS)}"
+        )
+    wl = _CACHE.get(name)
+    if wl is None:
+        wl = Workload(_SPECS[name])
+        _CACHE[name] = wl
+    return wl
+
+
+def workload_names(suite: str | None = None) -> tuple[str, ...]:
+    """Names in the suite: "int", "fp", or None for all."""
+    if suite is None:
+        return ALL_WORKLOADS
+    if suite == "int":
+        return SPEC_INT
+    if suite == "fp":
+        return SPEC_FP
+    raise ValueError("suite must be 'int', 'fp' or None")

@@ -1,0 +1,141 @@
+"""Engine tests: baseline (no value prediction) timing behaviour."""
+
+from repro.core import MachineConfig
+from repro.isa import InstructionBuilder
+
+from tests.conftest import alu_block, mem_miss_trace, run_engine
+
+
+class TestBasics:
+    def test_empty_trace_rejected(self):
+        import pytest
+
+        from repro.core.engine import Engine
+
+        with pytest.raises(ValueError):
+            Engine([], MachineConfig.hpca05_baseline(warm_caches=False))
+
+    def test_single_instruction(self, builder, baseline_config):
+        _, stats = run_engine([builder.int_alu(dst=1)], baseline_config)
+        assert stats.useful_instructions == 1
+        assert stats.cycles > 0
+
+    def test_run_twice_rejected(self, builder, baseline_config):
+        import pytest
+
+        from repro.core.engine import Engine
+
+        engine = Engine([builder.int_alu(dst=1)], baseline_config)
+        engine.run()
+        with pytest.raises(RuntimeError):
+            engine.run()
+
+    def test_every_instruction_counted_useful(self, builder, baseline_config):
+        trace = alu_block(builder, 100)
+        _, stats = run_engine(trace, baseline_config)
+        assert stats.useful_instructions == 100
+        assert stats.wasted_instructions == 0
+
+
+class TestThroughput:
+    def test_independent_alus_run_at_high_ipc(self, builder, baseline_config):
+        trace = alu_block(builder, 600)
+        _, stats = run_engine(trace, baseline_config)
+        # 6 int issue ports; expect IPC well above scalar
+        assert stats.useful_ipc > 3.0
+
+    def test_serial_chain_runs_at_one_per_cycle(self, builder, baseline_config):
+        trace = [builder.int_alu(dst=1, srcs=(1,)) for _ in range(400)]
+        _, stats = run_engine(trace, baseline_config)
+        assert 0.7 < stats.useful_ipc < 1.3
+
+
+class TestMemoryLatency:
+    def test_cold_miss_costs_about_memory_latency(self, builder, baseline_config):
+        trace = [builder.load(dst=1, addr=1 << 33, value=5)]
+        trace += [builder.int_alu(dst=2, srcs=(1,))]
+        _, stats = run_engine(trace, baseline_config)
+        assert stats.cycles >= baseline_config.mem_latency
+
+    def test_independent_misses_overlap(self, builder, baseline_config):
+        trace = mem_miss_trace(builder, loads=6, dependents=1, fillers=4)
+        _, stats = run_engine(trace, baseline_config)
+        # six independent 1000-cycle misses must overlap in the window
+        assert stats.cycles < 2.2 * baseline_config.mem_latency
+
+    def test_l1_hits_after_warm_line(self, builder, baseline_config):
+        addr = 1 << 33
+        trace = [builder.load(dst=1, addr=addr, value=5)]
+        trace += [builder.load(dst=2, addr=addr, value=5) for _ in range(20)]
+        _, stats = run_engine(trace, baseline_config)
+        from repro.memory import MemLevel
+
+        assert stats.level_counts[MemLevel.MEMORY] == 1
+
+
+class TestWindowLimits:
+    def test_rob_bounds_overlap_across_misses(self, builder):
+        # two misses separated by more than a ROB of fillers cannot overlap
+        small = MachineConfig.hpca05_baseline(
+            warm_caches=False, rob_size=32, rename_regs=64, iq_size=32
+        )
+        ib = builder
+        trace = [ib.load(dst=1, addr=1 << 33, value=5)]
+        trace += alu_block(ib, 64, dst_base=2)
+        trace += [ib.load(dst=1, addr=(1 << 33) + (1 << 20), value=6)]
+        _, stats = run_engine(trace, small)
+        assert stats.cycles > 1.8 * small.mem_latency
+
+    def test_bigger_window_recovers_overlap(self, builder):
+        big = MachineConfig.hpca05_baseline(warm_caches=False)
+        ib = builder
+        trace = [ib.load(dst=1, addr=1 << 33, value=5)]
+        trace += alu_block(ib, 64, dst_base=2)
+        trace += [ib.load(dst=1, addr=(1 << 33) + (1 << 20), value=6)]
+        _, stats = run_engine(trace, big)
+        assert stats.cycles < 1.5 * big.mem_latency
+
+
+class TestBranches:
+    def _branch_trace(self, ib, outcomes):
+        trace = []
+        for i, taken in enumerate(outcomes):
+            trace.extend(alu_block(ib, 6, dst_base=1))
+            trace.append(ib.branch(taken=taken, srcs=(1,), pc=0x9000))
+        return trace
+
+    def test_predictable_branches_cost_little(self, builder, baseline_config):
+        trace = self._branch_trace(builder, [True] * 60)
+        _, stats = run_engine(trace, baseline_config)
+        assert stats.branches == 60
+        assert stats.branch_accuracy > 0.9
+
+    def test_mispredicts_slow_the_machine(self, builder):
+        import random
+
+        rng = random.Random(3)
+        cfg = MachineConfig.hpca05_baseline(warm_caches=False)
+        good = self._branch_trace(builder, [True] * 60)
+        bad = self._branch_trace(builder, [rng.random() < 0.5 for _ in range(60)])
+        _, s_good = run_engine(good, cfg)
+        _, s_bad = run_engine(bad, MachineConfig.hpca05_baseline(warm_caches=False))
+        assert s_bad.branch_mispredicts > s_good.branch_mispredicts
+        assert s_bad.cycles > s_good.cycles
+
+
+class TestStores:
+    def test_nonspeculative_stores_bypass_store_buffer(self, builder, baseline_config):
+        trace = [builder.store(addr=0x8000 + 8 * i, srcs=(), value=i) for i in range(10)]
+        engine, stats = run_engine(trace, baseline_config)
+        assert stats.stores == 10
+        assert len(engine.store_buffer) == 0
+
+    def test_store_then_load_hits_cache(self, builder, baseline_config):
+        trace = [
+            builder.store(addr=1 << 33, srcs=(), value=1),
+            builder.load(dst=1, addr=1 << 33, value=1),
+        ]
+        _, stats = run_engine(trace, baseline_config)
+        from repro.memory import MemLevel
+
+        assert stats.level_counts[MemLevel.L1] == 1

@@ -1,0 +1,152 @@
+"""Engine edge cases: boundary spawns, history inheritance, measurements."""
+
+from repro.core import MachineConfig
+from repro.select import AlwaysSelector, IlpPredSelector, PredictionKind
+from repro.vp import OraclePredictor
+
+from tests.conftest import FixedPredictor, alu_block, run_engine
+
+
+class TestBoundarySpawns:
+    def test_spawn_on_last_instruction(self, builder):
+        """A load in the final trace slot spawns a child with nothing to do."""
+        trace = alu_block(builder, 5) + [
+            builder.load(dst=1, addr=1 << 33, value=5)
+        ]
+        cfg = MachineConfig.mtvp(8, warm_caches=False)
+        _, stats = run_engine(
+            trace, cfg, predictor=OraclePredictor(), selector=AlwaysSelector()
+        )
+        assert stats.useful_instructions == len(trace)
+
+    def test_trace_of_single_load(self, builder):
+        trace = [builder.load(dst=1, addr=1 << 33, value=5)]
+        for cfg in (
+            MachineConfig.hpca05_baseline(warm_caches=False),
+            MachineConfig.mtvp(8, warm_caches=False),
+        ):
+            _, stats = run_engine(
+                trace, cfg, predictor=OraclePredictor(), selector=AlwaysSelector()
+            )
+            assert stats.useful_instructions == 1
+            assert stats.cycles >= 1000
+
+    def test_back_to_back_spawnable_loads(self, builder):
+        ib = builder
+        trace = [
+            ib.load(dst=1 + i, addr=(1 << 33) + i * (1 << 22), value=i)
+            for i in range(6)
+        ]
+        trace += alu_block(ib, 10, dst_base=10)
+        cfg = MachineConfig.mtvp(8, warm_caches=False)
+        _, stats = run_engine(
+            trace, cfg, predictor=OraclePredictor(), selector=AlwaysSelector()
+        )
+        assert stats.useful_instructions == len(trace)
+        assert stats.spawns >= 1
+
+    def test_mispredict_on_final_spawn(self, builder):
+        trace = alu_block(builder, 5) + [
+            builder.load(dst=1, addr=1 << 33, value=5)
+        ]
+        cfg = MachineConfig.mtvp(8, warm_caches=False)
+        _, stats = run_engine(
+            trace, cfg, predictor=FixedPredictor(offset=1), selector=AlwaysSelector()
+        )
+        assert stats.useful_instructions == len(trace)
+
+
+class TestBranchHistoryInheritance:
+    def test_child_inherits_history(self, builder):
+        """A spawned thread must predict branches as well as its parent."""
+        ib = builder
+        trace = []
+        for i in range(30):
+            trace.append(ib.branch(taken=(i % 2 == 0), pc=0x7000))
+            trace.append(ib.int_alu(dst=1))
+        trace.append(ib.load(dst=2, addr=1 << 33, value=5, pc=0x7100))
+        for i in range(30, 60):
+            trace.append(ib.branch(taken=(i % 2 == 0), pc=0x7000))
+            trace.append(ib.int_alu(dst=1))
+        cfg = MachineConfig.mtvp(8, warm_caches=False)
+        _, stats = run_engine(
+            trace, cfg, predictor=OraclePredictor(), selector=AlwaysSelector()
+        )
+        # the alternation is fully learnable; the spawn must not reset it
+        assert stats.branch_accuracy > 0.75
+
+
+class TestSelectorFeedback:
+    def test_engine_records_progress_episodes(self, builder):
+        ib = builder
+        trace = []
+        for i in range(6):
+            trace.append(ib.load(dst=1, addr=(1 << 33) + i * (1 << 22), value=5))
+            trace += alu_block(ib, 20, dst_base=2)
+        selector = IlpPredSelector()
+        cfg = MachineConfig.mtvp(8, warm_caches=False)
+        run_engine(trace, cfg, predictor=OraclePredictor(), selector=selector)
+        entry = selector._entry(trace[0].pc)
+        assert sum(entry.samples) > 0
+        assert entry.latency > 100  # learned: this load is memory-class
+
+    def test_latency_gate_blocks_l1_spawns_end_to_end(self, builder):
+        ib = builder
+        addr = 1 << 33
+        # same PC hits L1 from the second access on
+        trace = []
+        for _ in range(40):
+            trace.append(ib.load(dst=1, addr=addr, value=5, pc=0x5000))
+            trace += alu_block(ib, 6, dst_base=2)
+        cfg = MachineConfig.mtvp(8, warm_caches=False)
+        _, stats = run_engine(
+            trace, cfg, predictor=OraclePredictor(), selector=IlpPredSelector()
+        )
+        # the first (cold-miss) episode seeds a high latency estimate, so a
+        # few early spawns are expected; the EWMA must then converge and
+        # shut spawning down for the remaining ~35 episodes
+        assert stats.spawns <= 6
+
+
+class TestSharedStructures:
+    def test_rename_pool_limits_inflight_writers(self, builder):
+        # a tiny rename pool forces serialization even for independent work
+        small = MachineConfig.hpca05_baseline(
+            warm_caches=False, rename_regs=8, rob_size=256
+        )
+        big = MachineConfig.hpca05_baseline(warm_caches=False)
+        trace = [builder.int_mul(dst=1 + (i % 8)) for i in range(200)]
+        _, s_small = run_engine(list(trace), small)
+        _, s_big = run_engine(list(trace), big)
+        assert s_small.cycles > s_big.cycles
+
+    def test_issue_ports_limit_fp_throughput(self, builder):
+        cfg = MachineConfig.hpca05_baseline(warm_caches=False)
+        fp_trace = [builder.fp_alu(dst=1 + (i % 8)) for i in range(400)]
+        _, stats = run_engine(fp_trace, cfg)
+        # 2 FP ports: IPC cannot exceed 2
+        assert stats.useful_ipc <= 2.1
+
+    def test_mem_ports_limit_load_throughput(self, builder):
+        cfg = MachineConfig.hpca05_baseline(warm_caches=False)
+        addr = 1 << 33
+        trace = [builder.load(dst=1, addr=addr, value=1) for _ in range(300)]
+        _, stats = run_engine(trace, cfg)
+        assert stats.useful_ipc <= 4.1
+
+
+class TestPredictionKinds:
+    def test_stvp_fallback_when_selector_wants_none(self, builder):
+        class NoneSelector(AlwaysSelector):
+            def choose(self, inst, spawn_available, expected_level=None):
+                return PredictionKind.NONE
+
+        trace = [builder.load(dst=1, addr=1 << 33, value=5)]
+        trace += alu_block(builder, 5, dst_base=2)
+        cfg = MachineConfig.mtvp(8, warm_caches=False)
+        _, stats = run_engine(
+            trace, cfg, predictor=OraclePredictor(), selector=NoneSelector()
+        )
+        assert stats.spawns == 0
+        assert stats.stvp_predictions == 0
+        assert stats.declined_predictions == 1

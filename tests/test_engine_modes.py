@@ -1,0 +1,165 @@
+"""Engine tests: spawn-only mode, fetch policies, wide window, accounting."""
+
+from repro.core import FetchPolicy, MachineConfig, SimMode
+from repro.select import AlwaysSelector, MissOracleSelector
+from repro.vp import OraclePredictor
+
+from tests.conftest import FixedPredictor, alu_block, run_engine
+
+
+def spaced_misses(ib, n=4, work=50):
+    trace = []
+    for i in range(n):
+        trace.append(ib.load(dst=1, addr=(1 << 33) + i * (1 << 22), value=5 + i))
+        trace += alu_block(ib, work, dst_base=2)
+    return trace
+
+
+class TestSpawnOnly:
+    def test_spawn_only_never_uses_values(self, builder):
+        trace = spaced_misses(builder)
+        cfg = MachineConfig.spawn_only(8, warm_caches=False)
+        _, stats = run_engine(
+            trace, cfg, predictor=OraclePredictor(), selector=AlwaysSelector()
+        )
+        assert stats.spawns > 0
+        # spawn-only predictions are always "confirmed" (no value risk)
+        assert stats.kills == 0
+        assert stats.mtvp_correct == 0  # not value predictions
+        assert stats.useful_instructions == len(trace)
+
+    def test_spawn_only_weaker_than_mtvp(self, builder):
+        trace = spaced_misses(builder, n=6, work=80)
+        so_cfg = MachineConfig.spawn_only(8, warm_caches=False)
+        mtvp_cfg = MachineConfig.mtvp(8, warm_caches=False)
+        _, so = run_engine(
+            trace, so_cfg, predictor=OraclePredictor(), selector=AlwaysSelector()
+        )
+        _, mtvp = run_engine(
+            trace, mtvp_cfg, predictor=OraclePredictor(), selector=AlwaysSelector()
+        )
+        # value prediction breaks the dependence; spawning alone does not
+        assert mtvp.useful_ipc >= so.useful_ipc
+
+    def test_spawn_only_ignores_selector_stvp(self, builder):
+        trace = spaced_misses(builder, n=2)
+        cfg = MachineConfig.spawn_only(8, warm_caches=False)
+        _, stats = run_engine(
+            trace, cfg, predictor=OraclePredictor(), selector=MissOracleSelector()
+        )
+        assert stats.stvp_predictions == 0
+
+
+class TestFetchPolicies:
+    def test_no_stall_parent_keeps_running(self, builder):
+        trace = spaced_misses(builder, n=3, work=40)
+        cfg = MachineConfig.mtvp(
+            8, warm_caches=False, fetch_policy=FetchPolicy.NO_STALL
+        )
+        _, stats = run_engine(
+            trace, cfg, predictor=OraclePredictor(), selector=AlwaysSelector()
+        )
+        # parent duplicated work past the load is discarded on confirm
+        assert stats.confirms > 0
+        assert stats.wasted_instructions > 0
+        assert stats.useful_instructions == len(trace)
+
+    def test_no_stall_recovers_faster_from_mispredicts(self, builder):
+        """The one advantage of no-stall: a head start after mispredicts."""
+        trace = spaced_misses(builder, n=3, work=40)
+        results = {}
+        for policy in (FetchPolicy.SINGLE_FETCH_PATH, FetchPolicy.NO_STALL):
+            cfg = MachineConfig.mtvp(8, warm_caches=False, fetch_policy=policy)
+            _, stats = run_engine(
+                trace, cfg, predictor=FixedPredictor(offset=1),
+                selector=AlwaysSelector(),
+            )
+            results[policy] = stats
+            assert stats.useful_instructions == len(trace)
+        assert (
+            results[FetchPolicy.NO_STALL].cycles
+            <= results[FetchPolicy.SINGLE_FETCH_PATH].cycles
+        )
+
+    def test_single_fetch_path_wins_with_correct_predictions(self, builder):
+        trace = spaced_misses(builder, n=6, work=80)
+        results = {}
+        for policy in (FetchPolicy.SINGLE_FETCH_PATH, FetchPolicy.NO_STALL):
+            cfg = MachineConfig.mtvp(8, warm_caches=False, fetch_policy=policy)
+            _, stats = run_engine(
+                trace, cfg, predictor=OraclePredictor(), selector=AlwaysSelector()
+            )
+            results[policy] = stats
+        assert (
+            results[FetchPolicy.SINGLE_FETCH_PATH].useful_ipc
+            >= results[FetchPolicy.NO_STALL].useful_ipc
+        )
+
+
+class TestWideWindow:
+    def test_wide_window_overlaps_independent_misses(self, builder):
+        ib = builder
+        # misses spaced past the normal ROB: a 256-window machine cannot
+        # overlap them, an 8K-window machine can
+        trace = []
+        for i in range(4):
+            trace.append(ib.load(dst=1, addr=(1 << 33) + i * (1 << 22), value=5))
+            trace += alu_block(ib, 300, dst_base=2)
+        normal = MachineConfig.hpca05_baseline(warm_caches=False)
+        wide = MachineConfig.wide_window(warm_caches=False)
+        _, s_normal = run_engine(trace, normal)
+        _, s_wide = run_engine(trace, wide)
+        assert s_wide.useful_ipc > s_normal.useful_ipc * 1.5
+
+    def test_wide_window_cannot_break_serial_dependences(self, builder):
+        ib = builder
+        # a serial pointer chase: each load's address depends on its
+        # predecessor; window size is irrelevant, value prediction is not
+        trace = []
+        for i in range(4):
+            trace.append(
+                ib.load(dst=1, srcs=(1,), addr=(1 << 33) + i * (1 << 22), value=5)
+            )
+            trace += alu_block(ib, 20, dst_base=2)
+        wide = MachineConfig.wide_window(warm_caches=False)
+        mtvp = MachineConfig.mtvp(8, warm_caches=False)
+        _, s_wide = run_engine(trace, wide)
+        _, s_mtvp = run_engine(
+            trace, mtvp, predictor=OraclePredictor(), selector=AlwaysSelector()
+        )
+        assert s_mtvp.useful_ipc > s_wide.useful_ipc * 1.5
+
+
+class TestAccountingInvariants:
+    def test_useful_equals_trace_length_all_modes(self, builder):
+        trace = spaced_misses(builder, n=4, work=30)
+        configs = [
+            MachineConfig.hpca05_baseline(warm_caches=False),
+            MachineConfig.stvp(warm_caches=False),
+            MachineConfig.mtvp(2, warm_caches=False),
+            MachineConfig.mtvp(8, warm_caches=False),
+            MachineConfig.spawn_only(4, warm_caches=False),
+            MachineConfig.wide_window(warm_caches=False),
+            MachineConfig.mtvp(
+                8, warm_caches=False, fetch_policy=FetchPolicy.NO_STALL
+            ),
+        ]
+        for cfg in configs:
+            for predictor in (OraclePredictor(), FixedPredictor(offset=1)):
+                _, stats = run_engine(
+                    list(trace), cfg, predictor=predictor, selector=AlwaysSelector()
+                )
+                assert stats.useful_instructions == len(trace), cfg.mode
+                assert stats.cycles > 0
+
+    def test_mode_normalizes_context_count(self):
+        cfg = MachineConfig(mode=SimMode.BASELINE, num_contexts=8)
+        assert cfg.num_contexts == 1
+
+    def test_cycles_monotone_in_memory_latency(self, builder):
+        trace = spaced_misses(builder, n=3, work=30)
+        slow = MachineConfig.hpca05_baseline(warm_caches=False, mem_latency=2000)
+        fast = MachineConfig.hpca05_baseline(warm_caches=False, mem_latency=500)
+        _, s_slow = run_engine(list(trace), slow)
+        _, s_fast = run_engine(list(trace), fast)
+        assert s_slow.cycles > s_fast.cycles

@@ -1,0 +1,105 @@
+"""Engine tests: single-threaded value prediction (STVP)."""
+
+from repro.core import MachineConfig
+from repro.select import AlwaysSelector
+from repro.vp import OraclePredictor
+
+from tests.conftest import FixedPredictor, alu_block, run_engine
+
+
+def chain_after_miss(ib, chain=6, addr=1 << 33):
+    """A memory-missing load followed by a serial dependent chain."""
+    trace = [ib.load(dst=1, addr=addr, value=5)]
+    prev = 1
+    for i in range(chain):
+        dst = 2 + (i % 8)
+        trace.append(ib.int_alu(dst=dst, srcs=(prev,)))
+        prev = dst
+    return trace
+
+
+class TestCorrectPrediction:
+    def test_dependents_start_early(self, builder):
+        trace = chain_after_miss(builder) + alu_block(builder, 20, dst_base=20)
+        base_cfg = MachineConfig.hpca05_baseline(warm_caches=False)
+        stvp_cfg = MachineConfig.stvp(warm_caches=False)
+        _, base = run_engine(trace, base_cfg)
+        _, stvp = run_engine(
+            trace, stvp_cfg, predictor=OraclePredictor(), selector=AlwaysSelector()
+        )
+        assert stvp.stvp_predictions == 1
+        assert stvp.stvp_correct == 1
+        assert stvp.cycles <= base.cycles
+
+    def test_commit_still_blocks_on_the_load(self, builder):
+        """The STVP limitation: the window cannot advance past the load."""
+        trace = chain_after_miss(builder)
+        stvp_cfg = MachineConfig.stvp(warm_caches=False)
+        _, stats = run_engine(
+            trace, stvp_cfg, predictor=OraclePredictor(), selector=AlwaysSelector()
+        )
+        # even with perfect prediction, the run cannot finish before the
+        # load returns from memory
+        assert stats.cycles >= stvp_cfg.mem_latency
+
+    def test_no_spawns_in_stvp_mode(self, builder):
+        trace = chain_after_miss(builder)
+        _, stats = run_engine(
+            trace,
+            MachineConfig.stvp(warm_caches=False),
+            predictor=OraclePredictor(),
+            selector=AlwaysSelector(),
+        )
+        assert stats.spawns == 0
+        assert stats.mtvp_predictions == 0
+
+
+class TestIncorrectPrediction:
+    def test_selective_reissue_penalty(self, builder):
+        trace = chain_after_miss(builder, chain=4)
+        cfg = MachineConfig.stvp(warm_caches=False)
+        _, wrong = run_engine(
+            trace, cfg, predictor=FixedPredictor(offset=1), selector=AlwaysSelector()
+        )
+        assert wrong.stvp_incorrect == 1
+        base_cfg = MachineConfig.hpca05_baseline(warm_caches=False)
+        _, base = run_engine(trace, base_cfg)
+        # a wrong prediction costs the reissue penalty relative to baseline
+        assert wrong.cycles >= base.cycles
+
+    def test_wrong_predictions_never_corrupt_results(self, builder):
+        trace = chain_after_miss(builder) + alu_block(builder, 30, dst_base=20)
+        _, stats = run_engine(
+            trace,
+            MachineConfig.stvp(warm_caches=False),
+            predictor=FixedPredictor(offset=7),
+            selector=AlwaysSelector(),
+        )
+        # every instruction still commits usefully exactly once
+        assert stats.useful_instructions == len(trace)
+
+    def test_accuracy_accounting(self, builder):
+        trace = []
+        for i in range(6):
+            trace += chain_after_miss(builder, chain=2, addr=(1 << 33) + i * (1 << 20))
+        _, stats = run_engine(
+            trace,
+            MachineConfig.stvp(warm_caches=False),
+            predictor=FixedPredictor(offset=1),
+            selector=AlwaysSelector(),
+        )
+        assert stats.stvp_predictions == 6
+        assert stats.stvp_incorrect == 6
+        assert stats.prediction_accuracy == 0.0
+
+
+class TestBaselineModeNeverPredicts:
+    def test_baseline_ignores_predictor(self, builder):
+        trace = chain_after_miss(builder)
+        _, stats = run_engine(
+            trace,
+            MachineConfig.hpca05_baseline(warm_caches=False),
+            predictor=OraclePredictor(),
+            selector=AlwaysSelector(),
+        )
+        assert stats.total_predictions == 0

@@ -1,0 +1,103 @@
+"""Tests for extensions beyond the paper's default configuration:
+the CMP substrate (Section 3.2) and the commit-based ILP selector
+(Section 5.1's third predictor)."""
+
+from repro import IlpCommitSelector, IlpPredSelector, MachineConfig, OraclePredictor
+from repro.core import SimMode
+from repro.select import AlwaysSelector, PredictionKind
+
+from tests.conftest import alu_block, run_engine
+
+
+class TestCmpConfig:
+    def test_preset(self):
+        cfg = MachineConfig.cmp(4)
+        assert cfg.mode is SimMode.MTVP
+        assert cfg.num_contexts == 4
+        assert not cfg.smt_shared
+        assert cfg.spawn_latency > MachineConfig.mtvp(4).spawn_latency
+
+    def test_overrides(self):
+        cfg = MachineConfig.cmp(4, spawn_latency=10)
+        assert cfg.spawn_latency == 10
+
+
+class TestCmpExecution:
+    def _trace(self, builder):
+        trace = []
+        for i in range(5):
+            trace.append(
+                builder.load(dst=1, addr=(1 << 33) + i * (1 << 22), value=5)
+            )
+            trace += alu_block(builder, 40, dst_base=2)
+        return trace
+
+    def test_cmp_accounts_exactly(self, builder):
+        trace = self._trace(builder)
+        cfg = MachineConfig.cmp(4, warm_caches=False)
+        _, stats = run_engine(
+            trace, cfg, predictor=OraclePredictor(), selector=AlwaysSelector()
+        )
+        assert stats.useful_instructions == len(trace)
+        assert stats.spawns > 0
+
+    def test_private_resources_remove_contention(self, builder):
+        """Single-thread code on CMP matches SMT exactly (one group used)."""
+        trace = alu_block(builder, 200)
+        _, smt = run_engine(
+            trace, MachineConfig.hpca05_baseline(warm_caches=False)
+        )
+        _, cmp_ = run_engine(
+            list(trace),
+            MachineConfig.cmp(4, warm_caches=False, mode=SimMode.BASELINE),
+        )
+        assert cmp_.useful_instructions == smt.useful_instructions
+
+    def test_cmp_spawn_cost_visible(self, builder):
+        """Same machine, same spawns: the bigger copy latency costs time."""
+        trace = self._trace(builder)
+        cheap = MachineConfig.cmp(8, warm_caches=False, spawn_latency=1)
+        pricey = MachineConfig.cmp(8, warm_caches=False, spawn_latency=200)
+        _, s_cheap = run_engine(
+            list(trace), cheap, predictor=OraclePredictor(), selector=AlwaysSelector()
+        )
+        _, s_pricey = run_engine(
+            list(trace), pricey, predictor=OraclePredictor(), selector=AlwaysSelector()
+        )
+        assert s_pricey.cycles >= s_cheap.cycles
+
+
+class TestCommitSelector:
+    def test_uses_committed_metric_when_present(self):
+        strict = IlpCommitSelector()
+        assert strict._progress(100, committed=40) == 40
+        assert strict._progress(100, committed=None) == 100
+        plain = IlpPredSelector()
+        assert plain._progress(100, committed=40) == 100
+
+    def test_end_to_end_comparable_to_ilp_pred(self, builder):
+        """Section 5.1: 'generally comparable to ILP-pred'."""
+        trace = []
+        for i in range(8):
+            trace.append(
+                builder.load(dst=1, addr=(1 << 33) + i * (1 << 22), value=5)
+            )
+            trace += alu_block(builder, 60, dst_base=2)
+        results = {}
+        for name, selector in (
+            ("fetch", IlpPredSelector()),
+            ("commit", IlpCommitSelector()),
+        ):
+            cfg = MachineConfig.mtvp(8, warm_caches=False)
+            _, stats = run_engine(
+                list(trace), cfg, predictor=OraclePredictor(), selector=selector
+            )
+            results[name] = stats
+        a, b = results["fetch"].useful_ipc, results["commit"].useful_ipc
+        assert abs(a - b) / max(a, b) < 0.5
+
+    def test_record_accepts_committed_kwarg(self):
+        s = IlpCommitSelector()
+        s.record(0x100, PredictionKind.MTVP, 100, 1000, committed=30)
+        entry = s._entry(0x100)
+        assert entry.instructions[PredictionKind.MTVP] == 30

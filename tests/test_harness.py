@@ -1,0 +1,131 @@
+"""Tests for the experiment harness: metrics, runner, result formatting."""
+
+import functools
+
+import pytest
+
+from repro.core import MachineConfig
+from repro.harness import (
+    ExperimentResult,
+    ModeResult,
+    RunSpec,
+    compare_modes,
+    geomean_speedup,
+    percent_speedup,
+    run_once,
+)
+from repro.vp import OraclePredictor
+
+
+class TestMetrics:
+    def test_percent_speedup(self):
+        assert percent_speedup(2.0, 1.0) == pytest.approx(100.0)
+        assert percent_speedup(0.5, 1.0) == pytest.approx(-50.0)
+        assert percent_speedup(1.0, 1.0) == pytest.approx(0.0)
+
+    def test_percent_speedup_rejects_zero_base(self):
+        with pytest.raises(ValueError):
+            percent_speedup(1.0, 0.0)
+
+    def test_geomean_identity(self):
+        assert geomean_speedup([0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_geomean_of_equal_speedups(self):
+        assert geomean_speedup([100.0, 100.0, 100.0]) == pytest.approx(100.0)
+
+    def test_geomean_mixes_gains_and_losses(self):
+        # 2x and 0.5x cancel geometrically
+        assert geomean_speedup([100.0, -50.0]) == pytest.approx(0.0)
+
+    def test_geomean_below_arithmetic_mean(self):
+        values = [10.0, 200.0]
+        assert geomean_speedup(values) < sum(values) / 2
+
+    def test_geomean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean_speedup([])
+
+    def test_geomean_rejects_total_loss(self):
+        with pytest.raises(ValueError):
+            geomean_speedup([-100.0])
+
+
+class TestRunner:
+    def test_run_once(self):
+        spec = RunSpec("baseline", MachineConfig.hpca05_baseline)
+        stats = run_once("crafty", spec, length=600)
+        assert stats.useful_instructions == 600
+
+    def test_compare_modes_structure(self):
+        specs = [
+            RunSpec("stvp", MachineConfig.stvp, predictor_factory=OraclePredictor),
+            RunSpec(
+                "mtvp2",
+                functools.partial(MachineConfig.mtvp, 2),
+                predictor_factory=OraclePredictor,
+            ),
+        ]
+        results = compare_modes(("crafty", "swim"), specs, length=600)
+        assert set(results) == {"stvp", "mtvp2"}
+        for rows in results.values():
+            assert [r.workload for r in rows] == ["crafty", "swim"]
+            assert rows[0].suite == "int" and rows[1].suite == "fp"
+            for r in rows:
+                assert r.base_ipc > 0
+
+    def test_mode_result_speedup(self):
+        from repro.core import SimStats
+
+        r = ModeResult("x", "int", "m", ipc=2.0, base_ipc=1.0, stats=SimStats())
+        assert r.speedup_percent == pytest.approx(100.0)
+
+
+class TestExperimentResult:
+    def test_format_table_renders_rows_and_summary(self):
+        result = ExperimentResult(
+            experiment_id="t",
+            title="A Title",
+            columns=["workload", "x"],
+            rows=[{"workload": "mcf", "x": 12.5}, {"workload": "vpr r", "x": -3.25}],
+            summary={"geomean": 4.0},
+        )
+        text = result.format_table()
+        assert "A Title" in text
+        assert "mcf" in text
+        assert "+12.5" in text
+        assert "-3.2" in text
+        assert "geomean" in text
+
+    def test_format_table_empty_rows(self):
+        result = ExperimentResult("t", "Empty", ["a"], [], {})
+        assert "Empty" in result.format_table()
+
+
+class TestExperimentRegistry:
+    def test_registry_covers_every_artifact(self):
+        from repro.harness import EXPERIMENTS
+
+        assert set(EXPERIMENTS) == {
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "sec4",
+            "sec5.1",
+            "sec5.3",
+            "sec5.4",
+            "sec5.6",
+            "ablation-latency",
+        }
+
+    def test_small_experiment_end_to_end(self, monkeypatch):
+        """Run fig5 (the cheapest per-workload experiment) on a tiny trace."""
+        import repro.harness.experiments as exp
+
+        monkeypatch.setattr(exp, "ALL", ("crafty", "swim"))
+        result = exp.fig5_multivalue_potential(length=800)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert 0.0 <= row["fraction"] <= 1.0

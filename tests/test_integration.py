@@ -1,0 +1,144 @@
+"""Integration tests: workloads through the full simulator stack.
+
+These assert the *mechanisms* the paper's evaluation rests on, at a scale
+small enough for CI: warm-state handling, prefetcher coverage per workload
+class, and the qualitative figure shapes on representative benchmarks.
+"""
+
+import pytest
+
+from repro import (
+    IlpPredSelector,
+    MachineConfig,
+    OraclePredictor,
+    WangFranklinPredictor,
+    simulate,
+)
+from repro.memory import MemLevel
+
+LENGTH = 4000
+
+
+def run(name, config, predictor=None, selector=None):
+    return simulate(
+        name,
+        config,
+        predictor=predictor,
+        selector=selector or IlpPredSelector(),
+        length=LENGTH,
+    )
+
+
+class TestSimulateApi:
+    def test_accepts_workload_name(self):
+        stats = run("crafty", MachineConfig.hpca05_baseline())
+        assert stats.useful_instructions == LENGTH
+
+    def test_accepts_workload_object(self):
+        from repro.workloads import get_workload
+
+        stats = simulate(
+            get_workload("crafty"), MachineConfig.hpca05_baseline(), length=1000
+        )
+        assert stats.useful_instructions == 1000
+
+    def test_accepts_raw_trace(self):
+        from repro.isa import InstructionBuilder
+
+        ib = InstructionBuilder()
+        trace = [ib.int_alu(dst=1) for _ in range(50)]
+        stats = simulate(trace, MachineConfig.hpca05_baseline())
+        assert stats.useful_instructions == 50
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            run("doom", MachineConfig.hpca05_baseline())
+
+    def test_deterministic(self):
+        a = run("mcf", MachineConfig.hpca05_baseline())
+        b = run("mcf", MachineConfig.hpca05_baseline())
+        assert a.cycles == b.cycles
+
+
+class TestWorkloadCharacters:
+    def test_resident_workload_mostly_hits(self):
+        stats = run("crafty", MachineConfig.hpca05_baseline())
+        assert stats.memory_miss_fraction < 0.02
+        assert stats.useful_ipc > 1.0
+
+    def test_chasing_workload_misses_hard(self):
+        stats = run("mcf", MachineConfig.hpca05_baseline())
+        assert stats.memory_miss_fraction > 0.01
+        assert stats.useful_ipc < 0.7
+
+    def test_streaming_fp_gets_prefetched(self):
+        stats = run("wupwise", MachineConfig.hpca05_baseline())
+        covered = stats.level_counts[MemLevel.STREAM] + stats.level_counts[MemLevel.L1]
+        assert covered > stats.level_counts[MemLevel.MEMORY]
+
+    def test_branch_quality_varies_by_suite(self):
+        crafty = run("crafty", MachineConfig.hpca05_baseline())
+        swim = run("swim", MachineConfig.hpca05_baseline())
+        assert swim.branch_accuracy > crafty.branch_accuracy
+
+
+class TestFigureShapes:
+    """Small-scale versions of the headline claims."""
+
+    def test_mtvp_beats_stvp_on_mcf_oracle(self):
+        base = run("mcf", MachineConfig.hpca05_baseline())
+        stvp = run("mcf", MachineConfig.stvp(), predictor=OraclePredictor())
+        mtvp = run("mcf", MachineConfig.mtvp(8), predictor=OraclePredictor())
+        assert stvp.useful_ipc > base.useful_ipc
+        assert mtvp.useful_ipc > stvp.useful_ipc
+
+    def test_resident_workload_gains_little_from_vp(self):
+        base = run("eon r", MachineConfig.hpca05_baseline())
+        mtvp = run("eon r", MachineConfig.mtvp(8), predictor=OraclePredictor())
+        assert abs(mtvp.useful_ipc / base.useful_ipc - 1.0) < 0.15
+
+    def test_fp_stvp_is_small_but_mtvp_is_not(self):
+        base = run("facerec", MachineConfig.hpca05_baseline())
+        stvp = run("facerec", MachineConfig.stvp(), predictor=OraclePredictor())
+        mtvp = run("facerec", MachineConfig.mtvp(8), predictor=OraclePredictor())
+        stvp_gain = stvp.useful_ipc / base.useful_ipc - 1.0
+        mtvp_gain = mtvp.useful_ipc / base.useful_ipc - 1.0
+        assert stvp_gain < 0.15
+        assert mtvp_gain > 0.3
+
+    def test_wide_window_fails_on_serial_chase(self):
+        base = run("mcf", MachineConfig.hpca05_baseline())
+        wide = run("mcf", MachineConfig.wide_window())
+        mtvp = run("mcf", MachineConfig.mtvp(8), predictor=OraclePredictor())
+        assert wide.useful_ipc < mtvp.useful_ipc
+        assert wide.useful_ipc < base.useful_ipc * 1.6
+
+    def test_realistic_predictor_still_profits(self):
+        base = run("vortex", MachineConfig.hpca05_baseline())
+        mtvp = run(
+            "vortex", MachineConfig.mtvp(8), predictor=WangFranklinPredictor()
+        )
+        assert mtvp.useful_ipc > base.useful_ipc
+        assert 0.0 < mtvp.prediction_accuracy <= 1.0
+
+    def test_store_buffer_sweep_monotone(self):
+        ipcs = []
+        for size in (8, 128):
+            stats = run(
+                "mcf",
+                MachineConfig.mtvp(8, store_buffer_entries=size),
+                predictor=OraclePredictor(),
+            )
+            ipcs.append(stats.useful_ipc)
+        assert ipcs[1] >= ipcs[0] * 0.95  # bigger buffer never materially worse
+
+
+class TestWarmState:
+    def test_warm_start_faster_than_cold(self):
+        warm = run("crafty", MachineConfig.hpca05_baseline(warm_caches=True))
+        cold = run("crafty", MachineConfig.hpca05_baseline(warm_caches=False))
+        assert warm.useful_ipc > cold.useful_ipc
+
+    def test_huge_regions_stay_cold_even_when_warming(self):
+        stats = run("mcf", MachineConfig.hpca05_baseline(warm_caches=True))
+        assert stats.level_counts[MemLevel.MEMORY] > 0

@@ -1,0 +1,169 @@
+"""Tests for trace I/O, result export, and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.export import (
+    load_result_json,
+    result_to_csv,
+    result_to_dict,
+    result_to_json,
+    stats_to_dict,
+)
+from repro.workloads import get_workload
+from repro.workloads.io import load_trace, save_trace
+
+
+def sample_result():
+    return ExperimentResult(
+        experiment_id="x1",
+        title="Test",
+        columns=["workload", "pct"],
+        rows=[{"workload": "mcf", "pct": 12.5}, {"workload": "swim", "pct": -3.0}],
+        summary={"geomean": 4.25},
+    )
+
+
+class TestTraceIo:
+    def test_roundtrip_workload_trace(self, tmp_path):
+        trace = get_workload("mcf").trace(length=400)
+        path = tmp_path / "mcf.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace, loaded):
+            assert (a.pc, a.op, a.srcs, a.dst, a.addr, a.value, a.taken) == (
+                b.pc,
+                b.op,
+                b.srcs,
+                b.dst,
+                b.addr,
+                b.value,
+                b.taken,
+            )
+
+    def test_roundtrip_handmade_trace(self, tmp_path, builder):
+        trace = [
+            builder.load(dst=1, addr=0x8000, value=(1 << 63) + 5),
+            builder.store(addr=0x9000, srcs=(1,), value=0),
+            builder.branch(taken=False, srcs=(1,)),
+            builder.int_alu(dst=2, srcs=(1,)),
+        ]
+        path = tmp_path / "hand.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded[0].value == (1 << 63) + 5
+        assert loaded[1].addr == 0x9000
+        assert loaded[2].taken is False
+        assert loaded[3].addr is None
+
+    def test_loaded_trace_simulates_identically(self, tmp_path):
+        from repro import MachineConfig, simulate
+
+        trace = get_workload("crafty").trace(length=400)
+        path = tmp_path / "c.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        a = simulate(trace, MachineConfig.hpca05_baseline(warm_caches=False))
+        b = simulate(loaded, MachineConfig.hpca05_baseline(warm_caches=False))
+        assert a.cycles == b.cycles
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.trace"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(ValueError, match="magic"):
+            load_trace(path)
+
+    def test_truncated_rejected(self, tmp_path, builder):
+        trace = [builder.int_alu(dst=1) for _ in range(10)]
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        path.write_bytes(path.read_bytes()[:-20])
+        with pytest.raises(ValueError, match="truncated"):
+            load_trace(path)
+
+    def test_too_short_rejected(self, tmp_path):
+        path = tmp_path / "s.trace"
+        path.write_bytes(b"RV")
+        with pytest.raises(ValueError, match="too short"):
+            load_trace(path)
+
+
+class TestExport:
+    def test_stats_to_dict(self):
+        from repro.core import SimStats
+
+        d = stats_to_dict(SimStats(cycles=10, useful_instructions=25))
+        assert d["useful_ipc"] == 2.5
+        assert "memory" in d["level_counts"]
+        json.dumps(d)  # must be serializable
+
+    def test_result_json_roundtrip(self, tmp_path):
+        path = tmp_path / "r.json"
+        result_to_json(sample_result(), path)
+        back = load_result_json(path)
+        assert back.rows == sample_result().rows
+        assert back.summary == sample_result().summary
+
+    def test_result_to_dict_is_serializable(self):
+        json.dumps(result_to_dict(sample_result()))
+
+    def test_result_csv(self, tmp_path):
+        text = result_to_csv(sample_result())
+        lines = text.strip().splitlines()
+        assert lines[0] == "workload,pct"
+        assert lines[1] == "mcf,12.5"
+        assert any(line.startswith("# geomean") for line in lines)
+
+
+class TestCli:
+    def run_cli(self, argv, capsys):
+        from repro.__main__ import main
+
+        code = main(argv)
+        return code, capsys.readouterr().out
+
+    def test_workloads_listing(self, capsys):
+        code, out = self.run_cli(["workloads"], capsys)
+        assert code == 0
+        assert "mcf" in out and "swim" in out
+
+    def test_workloads_suite_filter(self, capsys):
+        code, out = self.run_cli(["workloads", "--suite", "fp"], capsys)
+        assert code == 0
+        assert "swim" in out and "mcf" not in out
+
+    def test_run_command(self, capsys):
+        code, out = self.run_cli(
+            ["run", "crafty", "--machine", "baseline", "--length", "500"], capsys
+        )
+        assert code == 0
+        assert "useful IPC" in out
+
+    def test_run_mtvp_with_options(self, capsys):
+        code, out = self.run_cli(
+            [
+                "run", "mcf", "--machine", "mtvp", "--threads", "4",
+                "--predictor", "oracle", "--selector", "always",
+                "--length", "500",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "spawns" in out
+
+    def test_experiment_unknown_id(self, capsys):
+        code, out = self.run_cli(["experiment", "fig99"], capsys)
+        assert code == 1
+        assert "unknown experiment" in out
+
+    def test_trace_command(self, tmp_path, capsys):
+        out_path = tmp_path / "x.trace"
+        code, out = self.run_cli(
+            ["trace", "crafty", str(out_path), "--length", "300"], capsys
+        )
+        assert code == 0
+        assert out_path.exists()
+        assert len(load_trace(out_path)) == 300

@@ -1,0 +1,105 @@
+"""Unit tests for the abstract ISA layer."""
+
+import pytest
+
+from repro.isa import (
+    EXEC_LATENCY,
+    Instruction,
+    InstructionBuilder,
+    NUM_LOGICAL_REGS,
+    OpClass,
+    REG_ZERO,
+)
+
+
+class TestOpClass:
+    def test_memory_classification(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.INT_ALU.is_memory
+        assert not OpClass.BRANCH.is_memory
+
+    def test_fp_classification(self):
+        assert OpClass.FP_ALU.is_fp
+        assert OpClass.FP_MUL.is_fp
+        assert not OpClass.LOAD.is_fp
+        assert not OpClass.INT_MUL.is_fp
+
+    def test_register_writers(self):
+        assert OpClass.LOAD.writes_register
+        assert OpClass.INT_ALU.writes_register
+        assert not OpClass.STORE.writes_register
+        assert not OpClass.BRANCH.writes_register
+
+    def test_every_class_has_latency(self):
+        for op in OpClass:
+            assert EXEC_LATENCY[op] >= 1
+
+    def test_multiplies_slower_than_alu(self):
+        assert EXEC_LATENCY[OpClass.INT_MUL] > EXEC_LATENCY[OpClass.INT_ALU]
+
+
+class TestInstruction:
+    def test_load_requires_address(self):
+        with pytest.raises(ValueError):
+            Instruction(0x100, OpClass.LOAD, dst=1)
+
+    def test_store_requires_address(self):
+        with pytest.raises(ValueError):
+            Instruction(0x100, OpClass.STORE, srcs=(1,))
+
+    def test_branch_requires_outcome(self):
+        with pytest.raises(ValueError):
+            Instruction(0x100, OpClass.BRANCH, srcs=(1,))
+
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(0x100, OpClass.INT_ALU, dst=NUM_LOGICAL_REGS)
+        with pytest.raises(ValueError):
+            Instruction(0x100, OpClass.INT_ALU, srcs=(NUM_LOGICAL_REGS,), dst=1)
+
+    def test_valid_load(self):
+        inst = Instruction(0x100, OpClass.LOAD, (2,), 1, addr=0x8000, value=42)
+        assert inst.pc == 0x100
+        assert inst.dst == 1
+        assert inst.srcs == (2,)
+        assert inst.addr == 0x8000
+        assert inst.value == 42
+
+    def test_repr_mentions_fields(self):
+        inst = Instruction(0x100, OpClass.LOAD, (2,), 1, addr=0x8000, value=42)
+        text = repr(inst)
+        assert "LOAD" in text
+        assert "0x8000" in text
+
+
+class TestInstructionBuilder:
+    def test_pcs_advance(self):
+        ib = InstructionBuilder(base_pc=0x1000)
+        a = ib.int_alu(dst=1)
+        b = ib.int_alu(dst=2)
+        assert b.pc == a.pc + 4
+
+    def test_explicit_pc_does_not_advance_cursor(self):
+        ib = InstructionBuilder(base_pc=0x1000)
+        a = ib.int_alu(dst=1, pc=0x5000)
+        b = ib.int_alu(dst=2)
+        assert a.pc == 0x5000
+        assert b.pc == 0x1000
+
+    def test_all_op_helpers(self):
+        ib = InstructionBuilder()
+        assert ib.load(dst=1, addr=8, value=1).op is OpClass.LOAD
+        assert ib.store(addr=8, srcs=(1,)).op is OpClass.STORE
+        assert ib.int_alu(dst=1).op is OpClass.INT_ALU
+        assert ib.int_mul(dst=1).op is OpClass.INT_MUL
+        assert ib.fp_alu(dst=1).op is OpClass.FP_ALU
+        assert ib.fp_mul(dst=1).op is OpClass.FP_MUL
+        assert ib.branch(taken=True).op is OpClass.BRANCH
+
+    def test_nop_writes_harmless_register(self):
+        ib = InstructionBuilder()
+        nop = ib.nop()
+        assert nop.op is OpClass.INT_ALU
+        assert nop.srcs == ()
+        assert nop.dst != REG_ZERO

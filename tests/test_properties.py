@@ -1,0 +1,213 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.branch import TwoBcGskewPredictor, update_history
+from repro.core import MachineConfig, SlotAllocator
+from repro.isa import Instruction, InstructionBuilder, OpClass
+from repro.memory import Cache, MemoryHierarchy, StoreBuffer
+from repro.select import AlwaysSelector
+from repro.vp import StridePredictor, WangFranklinPredictor
+
+from tests.conftest import FixedPredictor, run_engine
+
+addresses = st.integers(min_value=0, max_value=(1 << 40) - 1)
+values64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestCacheProperties:
+    @given(st.lists(addresses, min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        cache = Cache(4096, 2, line_size=64)
+        for a in addrs:
+            cache.insert(a)
+        assert cache.occupancy <= 4096 // 64
+
+    @given(st.lists(addresses, min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_insert_then_probe_is_present(self, addrs):
+        cache = Cache(64 * 1024, 8, line_size=64)
+        for a in addrs:
+            cache.insert(a)
+            assert cache.probe(a)
+
+    @given(st.lists(addresses, min_size=1, max_size=100), st.integers(0, 99))
+    @settings(max_examples=30, deadline=None)
+    def test_lookup_miss_then_hit(self, addrs, pick):
+        cache = Cache(1 << 20, 16, line_size=64)
+        for a in addrs:
+            if not cache.lookup(a):
+                cache.insert(a)
+        target = addrs[pick % len(addrs)]
+        assert cache.probe(target)
+
+
+class TestHierarchyProperties:
+    @given(st.lists(st.tuples(addresses, st.integers(0, 10000)), min_size=1,
+                    max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_completion_never_before_access(self, accesses):
+        h = MemoryHierarchy(mem_latency=500)
+        for addr, now in accesses:
+            result = h.load(addr, 0x100, now)
+            assert result.complete_time >= now
+
+    @given(st.lists(addresses, min_size=2, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_level_counts_sum_to_accesses(self, addrs):
+        h = MemoryHierarchy()
+        for i, a in enumerate(addrs):
+            h.load(a, 0x100, i * 10)
+        assert sum(h.level_counts.values()) == h.accesses == len(addrs)
+
+
+class TestStoreBufferProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 4), st.integers(0, 100), addresses, values64),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_total_tracks_alloc_release(self, stores):
+        sb = StoreBuffer(capacity=32)
+        accepted = 0
+        for owner, pos, addr, value in stores:
+            if sb.allocate(owner, pos, addr, value, 0):
+                accepted += 1
+        assert len(sb) == accepted <= 32
+        drained = sum(len(sb.confirm_thread(o)) for o in range(1, 5))
+        assert drained == accepted
+        assert len(sb) == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 3), st.integers(0, 50), addresses, values64),
+            min_size=1,
+            max_size=40,
+        ),
+        addresses,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_search_result_is_visible_and_older(self, stores, probe_addr):
+        sb = StoreBuffer(capacity=None)
+        for owner, pos, addr, value in stores:
+            sb.allocate(owner, pos, addr, value, 0)
+        hit = sb.search(probe_addr, visible=(1, 2), trace_pos=25)
+        if hit is not None:
+            assert hit.owner in (1, 2)
+            assert hit.trace_pos < 25
+            assert hit.addr >> 3 == probe_addr >> 3
+
+
+class TestAllocatorProperties:
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=200),
+           st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_respected_and_result_ge_request(self, requests, capacity):
+        alloc = SlotAllocator(capacity)
+        booked: dict[int, int] = {}
+        for t in requests:
+            got = alloc.acquire(t)
+            assert got >= t
+            booked[got] = booked.get(got, 0) + 1
+        assert all(count <= capacity for count in booked.values())
+
+
+class TestPredictorProperties:
+    @given(st.lists(values64, min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_wang_franklin_never_crashes_and_learns_constants(self, tail):
+        ib = InstructionBuilder()
+        p = WangFranklinPredictor(threshold=4)
+        for i, v in enumerate(tail):
+            inst = ib.load(dst=1, addr=0x8000 + 8 * i, value=v, pc=0x1000)
+            p.predict(inst)
+            p.train(inst, v)
+        # after any history, a long constant run must become predictable
+        for i in range(30):
+            inst = ib.load(dst=1, addr=0x9000, value=777, pc=0x1000)
+            p.train(inst, 777)
+        pred = p.predict(ib.load(dst=1, addr=0x9000, value=777, pc=0x1000))
+        assert pred is not None and pred.value == 777
+
+    @given(st.integers(0, (1 << 63)), st.integers(1, 1 << 30))
+    @settings(max_examples=40, deadline=None)
+    def test_stride_predictor_extrapolates_any_stride(self, start, stride):
+        ib = InstructionBuilder()
+        p = StridePredictor(threshold=2)
+        mask = (1 << 64) - 1
+        for i in range(5):
+            v = (start + i * stride) & mask
+            p.train(ib.load(dst=1, addr=0x8000, value=v, pc=0x1000), v)
+        pred = p.predict(ib.load(dst=1, addr=0x8000, value=0, pc=0x1000))
+        assert pred is not None
+        assert pred.value == (start + 5 * stride) & mask
+
+
+class TestBranchHistoryProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_history_is_pure_function_of_outcomes(self, outcomes):
+        h1 = h2 = 0
+        for taken in outcomes:
+            h1 = update_history(h1, taken)
+            h2 = update_history(h2, taken)
+        assert h1 == h2
+        assert 0 <= h1 < (1 << 16)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_predictor_update_never_crashes(self, outcomes):
+        bp = TwoBcGskewPredictor()
+        hist = 0
+        for taken in outcomes:
+            bp.predict(0x4000, hist)
+            bp.update(0x4000, hist, taken)
+            hist = update_history(hist, taken)
+
+
+class TestEngineProperties:
+    @staticmethod
+    def _random_trace(ops):
+        ib = InstructionBuilder()
+        trace = []
+        for kind, a, b in ops:
+            if kind == 0:
+                trace.append(ib.load(dst=1 + a % 8, addr=(1 << 33) + b * 64, value=b))
+            elif kind == 1:
+                trace.append(ib.store(addr=(1 << 33) + b * 64, srcs=(1 + a % 8,), value=b))
+            elif kind == 2:
+                trace.append(ib.int_alu(dst=1 + a % 8, srcs=(1 + b % 8,)))
+            else:
+                trace.append(ib.branch(taken=bool(b & 1), srcs=(1 + a % 8,)))
+        return trace
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 7), st.integers(0, 63)),
+            min_size=1,
+            max_size=80,
+        ),
+        st.sampled_from(["baseline", "stvp", "mtvp", "spawn_only"]),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_trace_any_mode_accounts_exactly(self, ops, mode, wrong):
+        """The global invariant: every instruction becomes architectural
+        exactly once, under any mode, with any prediction quality."""
+        trace = self._random_trace(ops)
+        cfg = {
+            "baseline": MachineConfig.hpca05_baseline,
+            "stvp": MachineConfig.stvp,
+            "mtvp": lambda **kw: MachineConfig.mtvp(4, **kw),
+            "spawn_only": lambda **kw: MachineConfig.spawn_only(4, **kw),
+        }[mode](warm_caches=False)
+        predictor = FixedPredictor(offset=1 if wrong else 0)
+        _, stats = run_engine(trace, cfg, predictor=predictor, selector=AlwaysSelector())
+        assert stats.useful_instructions == len(trace)
+        assert stats.cycles > 0
+        assert stats.wasted_instructions >= 0
