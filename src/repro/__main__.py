@@ -70,13 +70,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.harness import EXPERIMENTS
+    from repro.harness import EXPERIMENTS, ResultCache, default_cache_dir
     from repro.harness.export import result_to_csv, result_to_json
 
     if args.id not in EXPERIMENTS:
         print(f"unknown experiment {args.id!r}; known: {', '.join(EXPERIMENTS)}")
         return 1
-    result = EXPERIMENTS[args.id](length=args.length)
+    if args.no_cache:
+        cache = False
+    else:
+        try:
+            cache = ResultCache(args.cache_dir or default_cache_dir())
+        except OSError as exc:
+            print(f"cannot use cache directory: {exc}")
+            return 1
+    result = EXPERIMENTS[args.id](length=args.length, jobs=args.jobs, cache=cache)
     print(result.format_table())
     if args.json:
         result_to_json(result, args.json)
@@ -123,6 +131,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--length", type=int, default=None)
     p.add_argument("--json", default=None, help="also write JSON to this path")
     p.add_argument("--csv", default=None, help="also write CSV to this path")
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the simulation fan-out "
+             "(0 = all cores; default: $REPRO_JOBS or serial)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every simulation instead of using the result cache",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser("trace", help="write a workload trace to a binary file")

@@ -49,6 +49,7 @@ class ThreadContext:
         "last_within_commit",
         "arch_limit",
         "pending_spawn",
+        "spawn_record_as_parent",
         "alive",
         "blocked",
         "sb_paused",
@@ -98,13 +99,17 @@ class ThreadContext:
         #: each thread tracks at most one outstanding spawn (the paper's
         #: single-entry child table)
         self.pending_spawn = False
+        #: this thread's own outstanding spawn record (it is the parent);
+        #: lets a kill void the record directly instead of scanning the
+        #: engine's whole pending heap
+        self.spawn_record_as_parent = None
         self.alive = True
         self.blocked = False
         self.sb_paused = False
         self.done = False
         self.resume_at = start_time
         #: deferred ILP-pred episodes: (pc, kind, start_t, end_t, start_count)
-        self.pending_measures: list[tuple[int, int, int, int, int]] = []
+        self.pending_measures: deque[tuple[int, int, int, int, int]] = deque()
 
     # ------------------------------------------------------------------
     @property

@@ -18,6 +18,7 @@ speculative threads.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 
 from repro.branch import TwoBcGskewPredictor, update_history
 from repro.core.allocators import PortedIssue, SlotAllocator
@@ -605,6 +606,7 @@ class Engine:
             self.stats.spawns += 1
         parent.arch_limit = parent.pos
         parent.pending_spawn = True
+        parent.spawn_record_as_parent = record
         heapq.heappush(self._pending, (t_complete, self._heap_seq, record))
         self._heap_seq += 1
         return record
@@ -645,6 +647,7 @@ class Engine:
             )
             parent.blocked = False
             parent.pending_spawn = False
+            parent.spawn_record_as_parent = None
             if resolve_time + 1 > parent.resume_at:
                 parent.resume_at = resolve_time + 1
             # any progress the parent made past the load (no-stall policy)
@@ -737,10 +740,11 @@ class Engine:
         for child in list(ctx.children):
             if child.alive:
                 self._kill_subtree(child, now)
-        # void any pending record where ctx is the parent
-        for _t, _s, record in self._pending:
-            if record.parent is ctx:
-                record.void = True
+        # void the (at most one) pending record where ctx is the parent
+        record = ctx.spawn_record_as_parent
+        if record is not None:
+            record.void = True
+            ctx.spawn_record_as_parent = None
         self.stats.kills += 1
         self.stats.wasted_instructions += ctx.within_commits + ctx.beyond_commits
         self.store_buffer.squash_thread(ctx.order)
@@ -781,7 +785,7 @@ class Engine:
         )
 
     def _finalize_oldest(self, ctx: ThreadContext) -> None:
-        pc, kind, start_t, end_t, start_count = ctx.pending_measures.pop(0)
+        pc, kind, start_t, end_t, start_count = ctx.pending_measures.popleft()
         self.selector.record(
             pc,
             PredictionKind(kind),
@@ -792,7 +796,7 @@ class Engine:
     def _finalize_measures(self, ctx: ThreadContext, now: int) -> None:
         if not ctx.pending_measures:
             return
-        remaining = []
+        remaining: deque[tuple[int, int, int, int, int]] = deque()
         for entry in ctx.pending_measures:
             pc, kind, start_t, end_t, start_count = entry
             if end_t <= now:
@@ -808,7 +812,7 @@ class Engine:
 
     def _flush_measures(self, ctx: ThreadContext, drop: bool = False) -> None:
         if drop:
-            ctx.pending_measures = []
+            ctx.pending_measures.clear()
             return
         for pc, kind, start_t, end_t, start_count in ctx.pending_measures:
             self.selector.record(
@@ -817,4 +821,4 @@ class Engine:
                 max(0, self._global_fetched - start_count),
                 max(1, end_t - start_t),
             )
-        ctx.pending_measures = []
+        ctx.pending_measures.clear()

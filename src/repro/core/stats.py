@@ -94,6 +94,29 @@ class SimStats:
             return 0.0
         return self.primary_wrong_candidate_present / self.followed_predictions
 
+    def to_dict(self) -> dict:
+        """Counters as plain JSON-serializable types (see :meth:`from_dict`)."""
+        out = dataclasses.asdict(self)
+        out["level_counts"] = {
+            level.name.lower(): count for level, count in self.level_counts.items()
+        }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        """Rebuild a :class:`SimStats` from :meth:`to_dict` output.
+
+        Unknown keys (e.g. derived metrics added by exporters) are ignored
+        so exported JSON round-trips too.
+        """
+        names = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in names}
+        kwargs["level_counts"] = {
+            MemLevel[name.upper()]: count
+            for name, count in data.get("level_counts", {}).items()
+        }
+        return cls(**kwargs)
+
     def summary(self) -> str:
         """Multi-line human-readable digest (used by examples)."""
         lines = [

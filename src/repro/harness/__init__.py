@@ -14,7 +14,9 @@ from repro.harness.export import (
     result_to_json,
     stats_to_dict,
 )
+from repro.harness.cache import ResultCache, default_cache_dir, task_key
 from repro.harness.metrics import geomean_speedup, percent_speedup
+from repro.harness.parallel import run_simulations
 from repro.harness.runner import ModeResult, RunSpec, compare_modes, run_once
 from repro.harness.experiments import (
     EXPERIMENTS,
@@ -38,8 +40,10 @@ __all__ = [
     "ExperimentResult",
     "ablation_memory_latency",
     "ModeResult",
+    "ResultCache",
     "RunSpec",
     "compare_modes",
+    "default_cache_dir",
     "fig1_oracle_potential",
     "fig2_spawn_latency",
     "fig3_realistic_wf",
@@ -54,7 +58,9 @@ __all__ = [
     "result_to_json",
     "stats_to_dict",
     "run_once",
+    "run_simulations",
     "sec4_prefetcher_ablation",
+    "task_key",
     "sec51_selectors",
     "sec53_store_buffer",
     "sec54_dfcm_vs_wf",

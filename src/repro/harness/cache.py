@@ -1,0 +1,201 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Reproducing the full paper drives hundreds of independent simulations, and
+many of them repeat across figures — most prominently the shared no-VP
+baseline that every speedup is measured against.  Each run is a pure
+function of ``(workload, machine config, predictor recipe, selector
+recipe, trace length, seed)`` plus the simulator sources themselves, so
+its :class:`~repro.core.SimStats` can be cached on disk under a stable
+content hash and reused across experiments, processes and sessions.
+
+Key scheme (see :func:`task_key`): the SHA-256 of a canonical JSON
+rendering of
+
+* the workload name,
+* every field of the instantiated :class:`~repro.core.MachineConfig`,
+* the predictor and selector factories (module-qualified name plus any
+  ``functools.partial`` arguments),
+* the trace length and seed,
+* a *code version* — a hash over all ``repro`` sources, so any change to
+  the simulator automatically invalidates every cached result.
+
+Factories that cannot be described stably (lambdas, closures, instances
+with hidden state) make the run uncacheable; :func:`task_key` returns
+``None`` and the harness simply recomputes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.core import SimStats
+
+_CODE_VERSION: str | None = None
+
+
+def code_version() -> str:
+    """Hash of every ``repro`` source file (computed once per process).
+
+    Baked into each cache key, so editing the simulator — models, harness,
+    workload generators — orphans stale entries instead of serving them.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME``/``~/.cache`` + ``repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def _plain(value):
+    """Canonical JSON-compatible form of a config/factory argument."""
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _plain(dataclasses.asdict(value))
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return None
+
+
+def describe_factory(factory) -> object | None:
+    """Stable description of a predictor/selector/config factory.
+
+    Classes, module-level functions and bound classmethods resolve to
+    their qualified name; :class:`functools.partial` wrappers additionally
+    record their bound arguments.  Returns ``None`` for anything without a
+    stable identity (lambdas, local closures, arbitrary callables) —
+    callers must then treat the run as uncacheable.
+    """
+    if isinstance(factory, functools.partial):
+        inner = describe_factory(factory.func)
+        if inner is None:
+            return None
+        args = [_plain(a) for a in factory.args]
+        kwargs = {k: _plain(v) for k, v in sorted(factory.keywords.items())}
+        if any(a is None for a in args) or any(v is None for v in kwargs.values()):
+            return None
+        return {"partial": inner, "args": args, "kwargs": kwargs}
+    qualname = getattr(factory, "__qualname__", None)
+    module = getattr(factory, "__module__", None)
+    if not qualname or not module or "<locals>" in qualname or "<lambda>" in qualname:
+        return None
+    return f"{module}.{qualname}"
+
+
+def task_key(workload_name: str, spec, length: int, seed: int) -> str | None:
+    """Cache key for one ``(workload, RunSpec, length, seed)`` simulation.
+
+    Returns ``None`` when any ingredient cannot be described stably.
+    """
+    predictor = describe_factory(spec.predictor_factory)
+    selector = describe_factory(spec.selector_factory)
+    if predictor is None or selector is None:
+        return None
+    try:
+        config = spec.config_factory()
+    except TypeError:
+        return None
+    payload = {
+        "workload": workload_name,
+        "config": _plain(dataclasses.asdict(config)),
+        "predictor": predictor,
+        "selector": selector,
+        "length": length,
+        "seed": seed,
+        "code": code_version(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` files, one cached :class:`SimStats` each.
+
+    Counters (``hits``/``misses``/``stores``) track this instance's
+    traffic; tests use them to assert that repeated experiments trigger
+    zero new simulations.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> SimStats | None:
+        """Cached stats for ``key``, or None (corrupt entries count as misses)."""
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+            stats = SimStats.from_dict(data["stats"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, key: str, stats: SimStats) -> None:
+        """Store ``stats`` under ``key`` (atomic rename, last writer wins)."""
+        payload = {"key": key, "stats": stats.to_dict()}
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({str(self.directory)!r}, hits={self.hits}, "
+            f"misses={self.misses}, stores={self.stores})"
+        )

@@ -11,13 +11,13 @@ import dataclasses
 import functools
 from typing import Callable
 
-from repro import simulate
 from repro.core import FetchPolicy, MachineConfig
 from repro.harness.metrics import geomean_speedup
+from repro.harness.parallel import run_simulations
 from repro.harness.runner import DEFAULT_LENGTH, ModeResult, RunSpec, compare_modes
 from repro.select import AlwaysSelector, IlpPredSelector, MissOracleSelector
 from repro.memory import MemLevel
-from repro.vp import DfcmPredictor, OraclePredictor, WangFranklinPredictor
+from repro.vp import DfcmPredictor, WangFranklinPredictor
 from repro.workloads import SPEC_FP, SPEC_INT, get_workload
 
 
@@ -87,10 +87,25 @@ def _speedup_rows(
 ALL = SPEC_INT + SPEC_FP
 
 
+def _liberal_wf() -> WangFranklinPredictor:
+    """The "more liberal predictor" of Section 5.6: a softer threshold and
+    penalty keep a secondary candidate over threshold without opening the
+    door to junk predictions on unpredictable loads.
+
+    Module-level (not a closure) so multi-value runs stay picklable for
+    the process pool and stably hashable for the result cache.
+    """
+    return WangFranklinPredictor(threshold=8, penalty=4)
+
+
 # ----------------------------------------------------------------------
 # Figure 1: potential of multithreaded value prediction (oracle predictor)
 # ----------------------------------------------------------------------
-def fig1_oracle_potential(length: int | None = None) -> ExperimentResult:
+def fig1_oracle_potential(
+    length: int | None = None,
+    jobs: int | None = None,
+    cache=None,
+) -> ExperimentResult:
     """Figure 1: % change in useful IPC with an oracle value predictor.
 
     STVP vs MTVP with 2/4/8 total threads, ILP-pred load selection, the
@@ -104,7 +119,7 @@ def fig1_oracle_potential(length: int | None = None) -> ExperimentResult:
         RunSpec("mtvp4", functools.partial(MachineConfig.mtvp, 4, **idealized)),
         RunSpec("mtvp8", functools.partial(MachineConfig.mtvp, 8, **idealized)),
     ]
-    results = compare_modes(ALL, specs, length=length)
+    results = compare_modes(ALL, specs, length=length, jobs=jobs, cache=cache)
     mode_names = [s.name for s in specs]
     return ExperimentResult(
         experiment_id="fig1",
@@ -118,7 +133,11 @@ def fig1_oracle_potential(length: int | None = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 2: sensitivity to thread spawn latency
 # ----------------------------------------------------------------------
-def fig2_spawn_latency(length: int | None = None) -> ExperimentResult:
+def fig2_spawn_latency(
+    length: int | None = None,
+    jobs: int | None = None,
+    cache=None,
+) -> ExperimentResult:
     """Figure 2: average speedups with 1/8/16-cycle spawn latencies."""
     rows: list[dict] = []
     summary: dict = {}
@@ -135,7 +154,7 @@ def fig2_spawn_latency(length: int | None = None) -> ExperimentResult:
                 "mtvp8", functools.partial(MachineConfig.mtvp, 8, spawn_latency=latency)
             ),
         ]
-        results = compare_modes(ALL, specs, length=length)
+        results = compare_modes(ALL, specs, length=length, jobs=jobs, cache=cache)
         for suite in ("int", "fp"):
             row = {"spawn latency": f"{latency} cyc", "suite": suite}
             for mode, mode_rows in results.items():
@@ -154,7 +173,11 @@ def fig2_spawn_latency(length: int | None = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Section 5.3: store buffer size sweep
 # ----------------------------------------------------------------------
-def sec53_store_buffer(length: int | None = None) -> ExperimentResult:
+def sec53_store_buffer(
+    length: int | None = None,
+    jobs: int | None = None,
+    cache=None,
+) -> ExperimentResult:
     """Section 5.3: speculation distance vs store-buffer capacity.
 
     The paper reports performance "begins to tail off at 64 and below
@@ -168,7 +191,7 @@ def sec53_store_buffer(length: int | None = None) -> ExperimentResult:
             f"sb{size or 'inf'}",
             functools.partial(MachineConfig.mtvp, 8, store_buffer_entries=size),
         )
-        results = compare_modes(ALL, [spec], length=length)
+        results = compare_modes(ALL, [spec], length=length, jobs=jobs, cache=cache)
         mode_rows = results[spec.name]
         row = {"store buffer": str(size) if size else "unlimited"}
         for suite in ("int", "fp"):
@@ -189,7 +212,11 @@ def sec53_store_buffer(length: int | None = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 3: realistic Wang-Franklin predictor
 # ----------------------------------------------------------------------
-def fig3_realistic_wf(length: int | None = None) -> ExperimentResult:
+def fig3_realistic_wf(
+    length: int | None = None,
+    jobs: int | None = None,
+    cache=None,
+) -> ExperimentResult:
     """Figure 3: useful-IPC change with the hybrid Wang-Franklin predictor.
 
     Realistic conditions: 8-cycle spawn latency, 128-entry store buffer.
@@ -204,7 +231,7 @@ def fig3_realistic_wf(length: int | None = None) -> ExperimentResult:
         RunSpec("mtvp8", functools.partial(MachineConfig.mtvp, 8),
                 predictor_factory=WangFranklinPredictor),
     ]
-    results = compare_modes(ALL, specs, length=length)
+    results = compare_modes(ALL, specs, length=length, jobs=jobs, cache=cache)
     mode_names = [s.name for s in specs]
     return ExperimentResult(
         experiment_id="fig3",
@@ -218,7 +245,11 @@ def fig3_realistic_wf(length: int | None = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 4: fetch policy (single fetch path vs no-stall)
 # ----------------------------------------------------------------------
-def fig4_fetch_policy(length: int | None = None) -> ExperimentResult:
+def fig4_fetch_policy(
+    length: int | None = None,
+    jobs: int | None = None,
+    cache=None,
+) -> ExperimentResult:
     """Figure 4: letting the parent keep fetching is counterproductive."""
     specs = [
         RunSpec("stvp", functools.partial(MachineConfig.stvp),
@@ -233,7 +264,7 @@ def fig4_fetch_policy(length: int | None = None) -> ExperimentResult:
             predictor_factory=WangFranklinPredictor,
         ),
     ]
-    results = compare_modes(ALL, specs, length=length)
+    results = compare_modes(ALL, specs, length=length, jobs=jobs, cache=cache)
     mode_names = [s.name for s in specs]
     return ExperimentResult(
         experiment_id="fig4",
@@ -247,18 +278,25 @@ def fig4_fetch_policy(length: int | None = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 5: multiple-value potential
 # ----------------------------------------------------------------------
-def fig5_multivalue_potential(length: int | None = None) -> ExperimentResult:
+def fig5_multivalue_potential(
+    length: int | None = None,
+    jobs: int | None = None,
+    cache=None,
+) -> ExperimentResult:
     """Figure 5: fraction of followed predictions whose primary value was
     wrong while the correct value sat in the predictor over threshold."""
+    spec = RunSpec(
+        "mtvp8 mv",
+        functools.partial(MachineConfig.mtvp, 8, collect_multivalue=True),
+        predictor_factory=WangFranklinPredictor,
+        selector_factory=IlpPredSelector,
+    )
+    n = length or DEFAULT_LENGTH
+    all_stats = run_simulations(
+        [(name, spec, n, 0) for name in ALL], jobs=jobs, cache=cache
+    )
     rows: list[dict] = []
-    for name in ALL:
-        stats = simulate(
-            get_workload(name),
-            MachineConfig.mtvp(8, collect_multivalue=True),
-            predictor=WangFranklinPredictor(),
-            selector=IlpPredSelector(),
-            length=length or DEFAULT_LENGTH,
-        )
+    for name, stats in zip(ALL, all_stats):
         rows.append(
             {
                 "workload": name,
@@ -280,32 +318,34 @@ def fig5_multivalue_potential(length: int | None = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Section 5.6: multiple-value MTVP on swim and parser
 # ----------------------------------------------------------------------
-def sec56_multivalue(length: int | None = None) -> ExperimentResult:
+def sec56_multivalue(
+    length: int | None = None,
+    jobs: int | None = None,
+    cache=None,
+) -> ExperimentResult:
     """Section 5.6: a liberal predictor + L3-miss oracle selector make
     multiple-value MTVP profitable on swim and parser."""
-
-    def liberal_wf() -> WangFranklinPredictor:
-        # the "more liberal predictor" of Section 5.6: a softer threshold
-        # and penalty keep a secondary candidate over threshold without
-        # opening the door to junk predictions on unpredictable loads
-        return WangFranklinPredictor(threshold=8, penalty=4)
-
+    names = ("swim", "parser")
+    n = length or DEFAULT_LENGTH
+    specs = [
+        RunSpec("base", MachineConfig.hpca05_baseline),
+        RunSpec("single", functools.partial(MachineConfig.mtvp, 8),
+                predictor_factory=WangFranklinPredictor,
+                selector_factory=IlpPredSelector),
+        RunSpec(
+            "multi",
+            functools.partial(MachineConfig.mtvp, 8, multi_value=2),
+            predictor_factory=_liberal_wf,
+            selector_factory=functools.partial(
+                MissOracleSelector, mtvp_level=MemLevel.L3
+            ),
+        ),
+    ]
+    tasks = [(name, spec, n, 0) for name in names for spec in specs]
+    all_stats = run_simulations(tasks, jobs=jobs, cache=cache)
     rows: list[dict] = []
-    for name in ("swim", "parser"):
-        wl = get_workload(name)
-        n = length or DEFAULT_LENGTH
-        base = simulate(wl, MachineConfig.hpca05_baseline(), length=n)
-        single = simulate(
-            wl, MachineConfig.mtvp(8), predictor=WangFranklinPredictor(),
-            selector=IlpPredSelector(), length=n,
-        )
-        multi = simulate(
-            wl,
-            MachineConfig.mtvp(8, multi_value=2),
-            predictor=liberal_wf(),
-            selector=MissOracleSelector(mtvp_level=MemLevel.L3),
-            length=n,
-        )
+    for i, name in enumerate(names):
+        base, single, multi = all_stats[i * len(specs): (i + 1) * len(specs)]
         rows.append(
             {
                 "workload": name,
@@ -326,7 +366,11 @@ def sec56_multivalue(length: int | None = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 6: wide-window / spawn-only comparison
 # ----------------------------------------------------------------------
-def fig6_wide_window(length: int | None = None) -> ExperimentResult:
+def fig6_wide_window(
+    length: int | None = None,
+    jobs: int | None = None,
+    cache=None,
+) -> ExperimentResult:
     """Figure 6: idealized 8K-entry-window machine vs best MTVP vs
     spawn-only (threads without value prediction)."""
     specs = [
@@ -335,7 +379,7 @@ def fig6_wide_window(length: int | None = None) -> ExperimentResult:
                 predictor_factory=WangFranklinPredictor),
         RunSpec("spawn only", functools.partial(MachineConfig.spawn_only, 8)),
     ]
-    results = compare_modes(ALL, specs, length=length)
+    results = compare_modes(ALL, specs, length=length, jobs=jobs, cache=cache)
     rows: list[dict] = []
     for suite in ("int", "fp"):
         row = {"suite": f"AVG {suite.upper()}"}
@@ -355,7 +399,11 @@ def fig6_wide_window(length: int | None = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Section 5.4 (in text): DFCM-3 underperforms the Wang-Franklin hybrid
 # ----------------------------------------------------------------------
-def sec54_dfcm_vs_wf(length: int | None = None) -> ExperimentResult:
+def sec54_dfcm_vs_wf(
+    length: int | None = None,
+    jobs: int | None = None,
+    cache=None,
+) -> ExperimentResult:
     """Section 5.4: the more aggressive DFCM makes more predictions, both
     correct and incorrect, and ends up behind the W-F hybrid under MTVP."""
     specs = [
@@ -364,7 +412,7 @@ def sec54_dfcm_vs_wf(length: int | None = None) -> ExperimentResult:
         RunSpec("mtvp8 dfcm", functools.partial(MachineConfig.mtvp, 8),
                 predictor_factory=DfcmPredictor),
     ]
-    results = compare_modes(ALL, specs, length=length)
+    results = compare_modes(ALL, specs, length=length, jobs=jobs, cache=cache)
     mode_names = [s.name for s in specs]
     rows = _speedup_rows(results, mode_names)
     for i, row in enumerate(rows):
@@ -387,7 +435,11 @@ def sec54_dfcm_vs_wf(length: int | None = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Section 5.1 (in text): load selector comparison
 # ----------------------------------------------------------------------
-def sec51_selectors(length: int | None = None) -> ExperimentResult:
+def sec51_selectors(
+    length: int | None = None,
+    jobs: int | None = None,
+    cache=None,
+) -> ExperimentResult:
     """Section 5.1: the implementable ILP-pred selector is competitive
     with (on average better than) the unimplementable cache-miss oracle."""
     specs = [
@@ -398,7 +450,7 @@ def sec51_selectors(length: int | None = None) -> ExperimentResult:
         RunSpec("mtvp8 always", functools.partial(MachineConfig.mtvp, 8),
                 selector_factory=AlwaysSelector),
     ]
-    results = compare_modes(ALL, specs, length=length)
+    results = compare_modes(ALL, specs, length=length, jobs=jobs, cache=cache)
     rows: list[dict] = []
     for suite in ("int", "fp"):
         row = {"suite": f"AVG {suite.upper()}"}
@@ -418,7 +470,11 @@ def sec51_selectors(length: int | None = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Section 4 (in text): prefetcher ablation
 # ----------------------------------------------------------------------
-def sec4_prefetcher_ablation(length: int | None = None) -> ExperimentResult:
+def sec4_prefetcher_ablation(
+    length: int | None = None,
+    jobs: int | None = None,
+    cache=None,
+) -> ExperimentResult:
     """Section 4: MTVP with and without the stride prefetcher.
 
     "We find that without a stride prefetcher the effect of multithreaded
@@ -442,7 +498,7 @@ def sec4_prefetcher_ablation(length: int | None = None) -> ExperimentResult:
                 MachineConfig.hpca05_baseline, prefetch_enabled=prefetch
             ),
         )
-        results = compare_modes(ALL, specs, length=length, baseline=baseline)
+        results = compare_modes(ALL, specs, length=length, baseline=baseline, jobs=jobs, cache=cache)
         for suite in ("int", "fp"):
             pts = [r.speedup_percent for r in results["mtvp8"] if r.suite == suite]
             rows.append(
@@ -465,7 +521,11 @@ def sec4_prefetcher_ablation(length: int | None = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Ablation: gains versus main-memory latency (the paper's motivation)
 # ----------------------------------------------------------------------
-def ablation_memory_latency(length: int | None = None) -> ExperimentResult:
+def ablation_memory_latency(
+    length: int | None = None,
+    jobs: int | None = None,
+    cache=None,
+) -> ExperimentResult:
     """Motivation check: MTVP's value grows with memory latency.
 
     The introduction argues traditional latency tolerance fails as
@@ -487,7 +547,7 @@ def ablation_memory_latency(length: int | None = None) -> ExperimentResult:
             "base",
             functools.partial(MachineConfig.hpca05_baseline, mem_latency=latency),
         )
-        results = compare_modes(ALL, specs, length=length, baseline=baseline)
+        results = compare_modes(ALL, specs, length=length, baseline=baseline, jobs=jobs, cache=cache)
         row = {"memory latency": f"{latency} cyc"}
         for mode, mode_rows in results.items():
             row[mode] = geomean_speedup([r.speedup_percent for r in mode_rows])

@@ -7,22 +7,17 @@ pretty tables; these helpers keep that path dependency-free.
 from __future__ import annotations
 
 import csv
-import dataclasses
 import io
 import json
 from pathlib import Path
 
 from repro.core import SimStats
 from repro.harness.experiments import ExperimentResult
-from repro.memory import MemLevel
 
 
 def stats_to_dict(stats: SimStats) -> dict:
     """Flatten a :class:`SimStats` into plain JSON-serializable types."""
-    out = dataclasses.asdict(stats)
-    out["level_counts"] = {
-        level.name.lower(): count for level, count in stats.level_counts.items()
-    }
+    out = stats.to_dict()
     out["useful_ipc"] = stats.useful_ipc
     out["prediction_accuracy"] = stats.prediction_accuracy
     out["branch_accuracy"] = stats.branch_accuracy

@@ -1,0 +1,138 @@
+"""Parallel fan-out of independent simulations, with optional caching.
+
+Every simulation the harness runs is a pure function of its ``(workload,
+RunSpec, length, seed)`` task, and :class:`~repro.harness.runner.RunSpec`
+carries *factories* rather than instances, so tasks are embarrassingly
+parallel: :func:`run_simulations` fans them out over a
+``concurrent.futures.ProcessPoolExecutor`` and reassembles results in
+task order, bit-identical to the serial path.
+
+Caching composes with parallelism: tasks whose
+:func:`~repro.harness.cache.task_key` hits the on-disk
+:class:`~repro.harness.cache.ResultCache` never reach the pool, identical
+pending tasks are deduplicated by key within a batch, and fresh results
+are written back as workers complete.
+
+Environment defaults (used when the corresponding argument is ``None``):
+
+* ``REPRO_JOBS`` — worker process count (unset/1 = serial in-process).
+* ``REPRO_CACHE_DIR`` — result cache directory (unset = no caching).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+
+from repro.core import SimStats
+from repro.harness.cache import ResultCache, task_key
+
+#: one simulation request: (workload name, RunSpec, length, seed)
+Task = tuple  # (str, RunSpec, int, int)
+
+
+def _run_task(spec, workload_name: str, length: int, seed: int) -> SimStats:
+    """Worker entry point: one spec on one workload (must stay picklable)."""
+    return spec.run(workload_name, length, seed)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Worker count: explicit ``jobs``, else ``$REPRO_JOBS``, else serial.
+
+    ``0`` (or any non-positive value) means "all cores".
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        jobs = int(env)
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def resolve_cache(cache) -> ResultCache | None:
+    """Normalize the ``cache`` argument every harness entry point accepts.
+
+    ``None`` consults ``$REPRO_CACHE_DIR`` (unset means no caching);
+    ``False`` disables caching outright; a string/path opens a
+    :class:`ResultCache` there; a :class:`ResultCache` passes through.
+    """
+    if cache is None:
+        env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+        return ResultCache(env) if env else None
+    if cache is False:
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    if isinstance(cache, (str, Path)):
+        return ResultCache(cache)
+    raise TypeError(f"cache must be None, False, a path or a ResultCache, not {cache!r}")
+
+
+def run_simulations(
+    tasks: list[Task],
+    jobs: int | None = None,
+    cache=None,
+) -> list[SimStats]:
+    """Run every task, in parallel when ``jobs > 1``, consulting the cache.
+
+    Args:
+        tasks: ``(workload_name, spec, length, seed)`` tuples.
+        jobs: Worker processes (see :func:`resolve_jobs`).
+        cache: Result cache (see :func:`resolve_cache`).
+
+    Returns:
+        One :class:`SimStats` per task, in task order.  Results are
+        independent of ``jobs`` and of cache hits/misses.
+    """
+    cache_obj = resolve_cache(cache)
+    n_jobs = resolve_jobs(jobs)
+
+    results: list[SimStats | None] = [None] * len(tasks)
+    keys: list[str | None] = [None] * len(tasks)
+    #: indices still needing a simulation, grouped so identical tasks
+    #: (same key) run once and fan back out to every requesting index
+    groups: dict[object, list[int]] = {}
+    for i, (workload_name, spec, length, seed) in enumerate(tasks):
+        key = (
+            task_key(workload_name, spec, length, seed)
+            if cache_obj is not None
+            else None
+        )
+        keys[i] = key
+        if key is not None:
+            hit = cache_obj.get(key)
+            if hit is not None:
+                results[i] = hit
+                continue
+        # uncacheable tasks get a unique group: no key to prove identity
+        groups.setdefault(key if key is not None else ("#", i), []).append(i)
+
+    def finish(indices: list[int], stats: SimStats) -> None:
+        key = keys[indices[0]]
+        if cache_obj is not None and key is not None:
+            cache_obj.put(key, stats)
+        for i in indices:
+            results[i] = stats
+
+    pending = list(groups.values())
+    if n_jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(pending))) as pool:
+            futures = {}
+            for indices in pending:
+                workload_name, spec, length, seed = tasks[indices[0]]
+                future = pool.submit(_run_task, spec, workload_name, length, seed)
+                futures[future] = indices
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    finish(futures[future], future.result())
+    else:
+        for indices in pending:
+            workload_name, spec, length, seed = tasks[indices[0]]
+            finish(indices, _run_task(spec, workload_name, length, seed))
+
+    return results  # type: ignore[return-value]

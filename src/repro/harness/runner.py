@@ -76,30 +76,58 @@ def compare_modes(
     length: int | None = None,
     seed: int = 0,
     baseline: RunSpec | None = None,
+    jobs: int | None = None,
+    cache=None,
 ) -> dict[str, list[ModeResult]]:
     """Run every spec on every workload against a common baseline.
+
+    All ``(workload, spec)`` simulations — including the shared baseline —
+    are independent, so they are dispatched as one batch through
+    :func:`~repro.harness.parallel.run_simulations`, which fans out over
+    ``jobs`` worker processes and serves repeats from ``cache``.  Results
+    are identical to a serial, uncached run for the same seed.
+
+    Args:
+        jobs: Worker processes; ``None`` defers to ``$REPRO_JOBS``
+            (default serial), ``0`` uses every core.
+        cache: ``None`` defers to ``$REPRO_CACHE_DIR`` (default off),
+            ``False`` disables, a path or
+            :class:`~repro.harness.cache.ResultCache` enables.
 
     Returns a mapping from spec name to its per-workload results, in the
     order of ``workload_names``.
     """
+    from repro.harness.parallel import run_simulations
+
     n = length or DEFAULT_LENGTH
     base_spec = baseline if baseline is not None else RunSpec(
         "baseline", MachineConfig.hpca05_baseline
     )
-    results: dict[str, list[ModeResult]] = {spec.name: [] for spec in specs}
-    for name in workload_names:
-        workload = get_workload(name)
-        base_stats = base_spec.run(name, n, seed)
-        for spec in specs:
-            stats = spec.run(name, n, seed)
-            results[spec.name].append(
+    tasks = [(name, base_spec, n, seed) for name in workload_names]
+    for spec in specs:
+        tasks.extend((name, spec, n, seed) for name in workload_names)
+    all_stats = run_simulations(tasks, jobs=jobs, cache=cache)
+
+    base_ipc = {
+        name: stats.useful_ipc
+        for name, stats in zip(workload_names, all_stats[: len(workload_names)])
+    }
+    results: dict[str, list[ModeResult]] = {}
+    offset = len(workload_names)
+    for spec in specs:
+        rows = []
+        for j, name in enumerate(workload_names):
+            stats = all_stats[offset + j]
+            rows.append(
                 ModeResult(
                     workload=name,
-                    suite=workload.suite,
+                    suite=get_workload(name).suite,
                     mode=spec.name,
                     ipc=stats.useful_ipc,
-                    base_ipc=base_stats.useful_ipc,
+                    base_ipc=base_ipc[name],
                     stats=stats,
                 )
             )
+        offset += len(workload_names)
+        results[spec.name] = rows
     return results

@@ -73,6 +73,10 @@ class StridePrefetcher:
         fill_latency: int = 250,
         hit_latency: int = 4,
     ) -> None:
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ValueError(
+                f"line_size must be a power of two, got {line_size}"
+            )
         self.table_entries = table_entries
         self.num_streams = num_streams
         self.depth = depth
@@ -120,8 +124,17 @@ class StridePrefetcher:
         iteration.
         """
         if len(sb.entries) >= self.depth:
-            horizon = sb.next_line - 2 * self.depth * max(1, abs(sb.stride_lines))
-            for line in [ln for ln in sb.entries if ln < horizon]:
+            span = 2 * self.depth * max(1, abs(sb.stride_lines))
+            if sb.stride_lines >= 0:
+                # ascending: stale skipped lines trail below the head
+                horizon = sb.next_line - span
+                stale = [ln for ln in sb.entries if ln < horizon]
+            else:
+                # descending: the head moves toward smaller line numbers,
+                # so the lines the walk left behind sit *above* it
+                horizon = sb.next_line + span
+                stale = [ln for ln in sb.entries if ln > horizon]
+            for line in stale:
                 del sb.entries[line]
         while len(sb.entries) < self.depth:
             line = sb.next_line
@@ -134,8 +147,13 @@ class StridePrefetcher:
         for sb in self._streams:
             if line in sb.entries:
                 return True
-            ahead = line - sb.next_line
-            if 0 <= ahead < sb.stride_lines * 2:
+            # distance from the frontier to the line, measured along the
+            # stream's direction of travel (negative strides walk down)
+            if sb.stride_lines >= 0:
+                ahead = line - sb.next_line
+            else:
+                ahead = sb.next_line - line
+            if 0 <= ahead < 2 * abs(sb.stride_lines):
                 return True
         return False
 

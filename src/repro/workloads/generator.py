@@ -36,6 +36,11 @@ _VALUE_RANGE = 1 << 40
 #: different workloads/streams never overlap in the shared hierarchy
 _STREAM_SPACING = 1 << 32
 
+#: traces memoized per workload; experiments re-run the same
+#: (length, seed) dozens of times per figure, so regeneration dominates
+#: harness time without this
+_TRACE_MEMO_MAX = 8
+
 
 class _Slot:
     """One static instruction slot in the workload body."""
@@ -82,6 +87,9 @@ class Workload:
         self.name = spec.name
         self.suite = spec.suite
         self._body = self._build_body()
+        #: generated traces memoized per (resolved length, seed); bounded
+        #: so length sweeps cannot pin every trace ever generated
+        self._trace_memo: dict[tuple[int, int], list[Instruction]] = {}
 
     # ------------------------------------------------------------------
     def _seed(self, salt: int) -> int:
@@ -240,6 +248,10 @@ class Workload:
         n = spec.default_length if length is None else length
         if n <= 0:
             raise ValueError("trace length must be positive")
+        memo_key = (n, seed)
+        cached = self._trace_memo.get(memo_key)
+        if cached is not None:
+            return cached
         rng = random.Random(self._seed(0xD1CE) ^ (seed * 0x9E3779B1))
         streams = [
             AddressStream(s, base=(i + 1) * _STREAM_SPACING, rng=rng)
@@ -287,6 +299,11 @@ class Workload:
                     )
                 else:
                     out.append(Instruction(slot.pc, slot.op, slot.srcs, slot.dst))
+        # the engine treats traces as read-only, so the memoized list can
+        # be shared between repeated simulations within this process
+        if len(self._trace_memo) >= _TRACE_MEMO_MAX:
+            self._trace_memo.pop(next(iter(self._trace_memo)))
+        self._trace_memo[memo_key] = out
         return out
 
     def __repr__(self) -> str:

@@ -1,0 +1,179 @@
+"""Tests for the parallel fan-out and the on-disk result cache."""
+
+import functools
+
+import pytest
+
+from repro.core import MachineConfig, SimStats
+from repro.harness import RunSpec, ResultCache, compare_modes, run_simulations, task_key
+from repro.harness.cache import describe_factory
+from repro.harness.parallel import resolve_cache, resolve_jobs
+from repro.vp import OraclePredictor, WangFranklinPredictor
+
+LENGTH = 600
+
+
+def specs():
+    return [
+        RunSpec("stvp", MachineConfig.stvp, predictor_factory=OraclePredictor),
+        RunSpec(
+            "mtvp2",
+            functools.partial(MachineConfig.mtvp, 2),
+            predictor_factory=WangFranklinPredictor,
+        ),
+    ]
+
+
+def tasks():
+    return [
+        (name, spec, LENGTH, 0)
+        for name in ("crafty", "swim")
+        for spec in specs()
+    ]
+
+
+class TestTaskKey:
+    def test_same_task_same_key(self):
+        spec = RunSpec("stvp", MachineConfig.stvp)
+        assert task_key("crafty", spec, 600, 0) == task_key("crafty", spec, 600, 0)
+
+    def test_equivalent_specs_share_a_key(self):
+        a = RunSpec("a", functools.partial(MachineConfig.mtvp, 2))
+        b = RunSpec("b", functools.partial(MachineConfig.mtvp, 2))
+        # the key is content-addressed: the spec *name* must not matter
+        assert task_key("crafty", a, 600, 0) == task_key("crafty", b, 600, 0)
+
+    def test_key_sensitive_to_every_ingredient(self):
+        spec = RunSpec("stvp", MachineConfig.stvp)
+        base = task_key("crafty", spec, 600, 0)
+        assert task_key("swim", spec, 600, 0) != base
+        assert task_key("crafty", spec, 601, 0) != base
+        assert task_key("crafty", spec, 600, 1) != base
+        other = RunSpec("stvp", MachineConfig.stvp, predictor_factory=WangFranklinPredictor)
+        assert task_key("crafty", other, 600, 0) != base
+
+    def test_config_factory_arguments_differentiate(self):
+        two = RunSpec("m", functools.partial(MachineConfig.mtvp, 2))
+        four = RunSpec("m", functools.partial(MachineConfig.mtvp, 4))
+        assert task_key("crafty", two, 600, 0) != task_key("crafty", four, 600, 0)
+
+    def test_lambda_factory_is_uncacheable(self):
+        spec = RunSpec(
+            "stvp", MachineConfig.stvp, predictor_factory=lambda: OraclePredictor()
+        )
+        assert describe_factory(spec.predictor_factory) is None
+        assert task_key("crafty", spec, 600, 0) is None
+
+    def test_partial_of_class_is_describable(self):
+        desc = describe_factory(functools.partial(WangFranklinPredictor, threshold=8))
+        assert desc["kwargs"] == {"threshold": 8}
+
+
+class TestStatsRoundTrip:
+    def test_to_dict_from_dict_round_trips(self):
+        spec = RunSpec("mtvp2", functools.partial(MachineConfig.mtvp, 2))
+        stats = spec.run("crafty", LENGTH, 0)
+        clone = SimStats.from_dict(stats.to_dict())
+        assert clone == stats
+
+    def test_from_dict_ignores_unknown_fields(self):
+        data = SimStats().to_dict()
+        data["from_the_future"] = 1
+        SimStats.from_dict(data)  # must not raise
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stats = RunSpec("b", MachineConfig.hpca05_baseline).run("crafty", LENGTH, 0)
+        cache.put("k" * 64, stats)
+        assert cache.get("k" * 64) == stats
+        assert (cache.hits, cache.misses, cache.stores) == (1, 0, 1)
+
+    def test_missing_and_corrupt_entries_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("absent") is None
+        (tmp_path / "bad.json").write_text("{not json")
+        assert cache.get("bad") is None
+        assert cache.misses == 2
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 64, SimStats())
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestRunSimulations:
+    def test_parallel_matches_serial(self):
+        serial = run_simulations(tasks(), jobs=1, cache=False)
+        fanned = run_simulations(tasks(), jobs=2, cache=False)
+        assert [s.to_dict() for s in serial] == [s.to_dict() for s in fanned]
+
+    def test_duplicate_tasks_simulate_once(self, tmp_path, monkeypatch):
+        import repro.harness.parallel as par
+
+        calls = []
+        real = par._run_task
+        monkeypatch.setattr(
+            par, "_run_task", lambda *a: calls.append(a) or real(*a)
+        )
+        batch = tasks()
+        results = run_simulations(batch + batch, jobs=1, cache=ResultCache(tmp_path))
+        assert len(calls) == len(batch)
+        assert [s.to_dict() for s in results[: len(batch)]] == [
+            s.to_dict() for s in results[len(batch) :]
+        ]
+
+    def test_second_invocation_runs_zero_simulations(self, tmp_path, monkeypatch):
+        import repro.harness.parallel as par
+
+        first = run_simulations(tasks(), jobs=1, cache=ResultCache(tmp_path))
+
+        def boom(*a):
+            raise AssertionError("cache should have served this task")
+
+        monkeypatch.setattr(par, "_run_task", boom)
+        cache = ResultCache(tmp_path)
+        second = run_simulations(tasks(), jobs=1, cache=cache)
+        assert cache.hits == len(tasks()) and cache.misses == 0
+        assert [s.to_dict() for s in first] == [s.to_dict() for s in second]
+
+    def test_cached_parallel_compare_matches_serial(self, tmp_path):
+        serial = compare_modes(("crafty", "swim"), specs(), length=LENGTH, cache=False)
+        fanned = compare_modes(
+            ("crafty", "swim"), specs(), length=LENGTH, jobs=2,
+            cache=ResultCache(tmp_path),
+        )
+        warm = compare_modes(
+            ("crafty", "swim"), specs(), length=LENGTH, jobs=2,
+            cache=ResultCache(tmp_path),
+        )
+        for results in (fanned, warm):
+            for mode, rows in serial.items():
+                got = results[mode]
+                assert [r.ipc for r in got] == [r.ipc for r in rows]
+                assert [r.stats for r in got] == [r.stats for r in rows]
+
+
+class TestResolution:
+    def test_resolve_jobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+        assert resolve_jobs(0) >= 1
+
+    def test_resolve_cache(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+        opened = resolve_cache(tmp_path)
+        assert isinstance(opened, ResultCache)
+        assert resolve_cache(opened) is opened
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert resolve_cache(None).directory == tmp_path / "env"
+        with pytest.raises(TypeError):
+            resolve_cache(42)

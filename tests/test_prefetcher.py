@@ -1,5 +1,7 @@
 """Unit tests for the stride prefetcher and stream buffers."""
 
+import pytest
+
 from repro.memory import MemLevel, MemoryHierarchy, StridePrefetcher
 
 
@@ -118,6 +120,75 @@ class TestPoolManagement:
             pf.lookup(base + j * 64, now=j * 10)
         horizon = sb.next_line - 2 * pf.depth
         assert all(line >= horizon for line in sb.entries)
+
+
+class TestDescendingStreams:
+    """Regression tests for negative-stride (descending walk) streams."""
+
+    def test_descending_pc_stride_allocates_and_hits(self):
+        pf = make_pf(depth=4)
+        base = 1 << 30
+        stride = -64 * 64  # 64 lines per step, well past the sparse gate
+        for i in range(5):
+            pf.train(0x900, base + i * stride, now=i)
+        assert pf.active_streams >= 1
+        # the buffer must run *down* the walk, ahead of the next demand
+        assert pf.lookup(base + 5 * stride, now=1000) is not None
+        assert pf.lookup(base + 6 * stride, now=1000) is not None
+
+    def test_covered_sees_descending_frontier(self):
+        pf = make_pf(depth=4)
+        pf._allocate(0x1, -2, start_line=1000, now=0)
+        sb = pf._streams[0]
+        assert sb.next_line == 1000 - 2 * pf.depth
+        # lines the stream is about to prefetch count as covered, exactly
+        # as they do for an ascending stream
+        assert pf._covered(sb.next_line - 1)
+        assert pf._covered(sb.next_line - 3)
+        assert not pf._covered(sb.next_line - 4)
+
+    def test_no_duplicate_buffer_for_covered_descending_walk(self):
+        pf = make_pf(depth=4)
+        pf._allocate(0x1, -64, 1 << 24, now=0)
+        sb = pf._streams[0]
+        allocs = pf.allocations
+        # a second PC walks the same descending path; its successor line
+        # lands one stride ahead of the stream frontier, so the cover
+        # filter must suppress the duplicate allocation that would
+        # otherwise thrash the 8-entry pool
+        final_line = sb.next_line
+        addr = final_line << pf._line_shift
+        step = -64 << pf._line_shift
+        for i in range(3, -1, -1):
+            pf.train(0x904, addr - i * step, now=10)
+        assert pf.allocations == allocs
+        assert pf.active_streams == 1
+
+    def test_descending_aging_evicts_stale_lines_not_fresh_ones(self):
+        pf = make_pf(depth=4)
+        base_line = 1 << 24
+        pf._allocate(0x3, -1, base_line, now=0)
+        sb = pf._streams[0]
+        fresh = sorted(sb.entries)
+        # a walk that skipped lines leaves them far *above* the descending
+        # head; with the buffer at capacity, _extend must age those out —
+        # not the freshly prefetched lines ahead of (below) the stream
+        stale = [base_line + 100, base_line + 200]
+        for line in stale:
+            sb.entries[line] = 0
+        pf._extend(sb, now=10)
+        assert all(line not in sb.entries for line in stale)
+        assert sorted(sb.entries) == fresh
+
+
+class TestValidation:
+    def test_non_power_of_two_line_size_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            StridePrefetcher(line_size=48)
+
+    def test_zero_line_size_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            StridePrefetcher(line_size=0)
 
 
 class TestHierarchyIntegration:

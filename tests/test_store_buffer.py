@@ -23,6 +23,14 @@ class TestCapacity:
         with pytest.raises(ValueError):
             StoreBuffer(capacity=0)
 
+    def test_non_power_of_two_granularity_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            StoreBuffer(capacity=8, granularity=6)
+
+    def test_zero_granularity_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            StoreBuffer(capacity=8, granularity=0)
+
     def test_free_slots(self):
         sb = StoreBuffer(capacity=4)
         sb.allocate(1, 0, 0x100, 1, 0)
