@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Measure engine throughput and refresh ``BENCH_engine.json``.
+
+Runs the fixed Table 1 bench points from :mod:`repro.harness.bench`,
+prints a comparison table (vs the recorded pre-optimization engine and
+vs the committed previous run), and rewrites the JSON record at the
+repository root.  Non-gating: this script always exits 0 on a completed
+run — regressions are surfaced as numbers for a human to judge, since
+wall-clock on shared CI machines is too noisy for a hard threshold.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick --no-write
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.harness.bench import (  # noqa: E402  (path bootstrap above)
+    format_bench,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help="where to write the JSON record (default: BENCH_engine.json "
+             "at the repository root)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed runs per point; the best rate is kept (default: 3)",
+    )
+    parser.add_argument(
+        "--length", type=int, default=None,
+        help="override the trace length of every point (loses the "
+             "pre-optimization comparison, which is length-specific)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: shorthand for --repeats 1 --length 3000",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true",
+        help="print the table but leave the JSON record untouched",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.repeats = 1
+        args.length = args.length or 3000
+
+    previous = load_bench(args.output)
+    results = run_bench(repeats=args.repeats, length=args.length)
+    print(format_bench(results, previous))
+    if args.no_write:
+        return 0
+    write_bench(results, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

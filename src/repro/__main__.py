@@ -56,16 +56,30 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = MACHINES[args.machine](args.threads)
-    stats = simulate(
-        args.workload,
-        config,
-        predictor=PREDICTORS[args.predictor](),
-        selector=SELECTORS[args.selector](),
-        length=args.length,
-        seed=args.seed,
-    )
+
+    def run():
+        return simulate(
+            args.workload,
+            config,
+            predictor=PREDICTORS[args.predictor](),
+            selector=SELECTORS[args.selector](),
+            length=args.length,
+            seed=args.seed,
+        )
+
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        stats = profiler.runcall(run)
+        profiler.dump_stats(args.profile)
+    else:
+        stats = run()
     print(f"{args.workload} on {args.machine} ({args.threads} threads)")
     print(stats.summary())
+    if args.profile:
+        print(f"wrote cProfile data to {args.profile} "
+              f"(inspect with: python -m pstats {args.profile})")
     return 0
 
 
@@ -124,6 +138,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--selector", choices=sorted(SELECTORS), default="ilp-pred")
     p.add_argument("--length", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--profile", default=None, metavar="FILE",
+        help="profile the simulation with cProfile and dump stats to FILE",
+    )
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")

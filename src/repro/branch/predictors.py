@@ -33,6 +33,17 @@ class BranchPredictor:
         """Train the predictor with the resolved direction."""
         raise NotImplementedError
 
+    def predict_and_update(self, pc: int, history: int, taken: bool) -> bool:
+        """Predict then immediately train; returns the prediction.
+
+        The engine resolves every branch in the same step it predicts it,
+        so the two-call protocol does each table walk twice.  Subclasses
+        may fuse the walks; this default is the unfused equivalent.
+        """
+        predicted = self.predict(pc, history)
+        self.update(pc, history, taken)
+        return predicted
+
 
 class _CounterTable:
     """A table of 2-bit saturating counters packed in a flat list."""
@@ -168,3 +179,35 @@ class TwoBcGskewPredictor(BranchPredictor):
                 self._g0.train(_skew_index(pc, history, 1), taken)
             if g1 == taken:
                 self._g1.train(_skew_index(pc, history, 2), taken)
+
+    def predict_and_update(self, pc: int, history: int, taken: bool) -> bool:
+        """Fused predict+train: one lookup count, each skew index hashed
+        once instead of up to three times.  ``predict`` mutates nothing,
+        so predict-then-update over the same tables sees identical votes —
+        this is bit-for-bit the two-call sequence.
+        """
+        self.lookups += 1
+        pc2 = pc >> 2
+        i0 = _skew_index(pc, history, 0)
+        i1 = _skew_index(pc, history, 1)
+        i2 = _skew_index(pc, history, 2)
+        bim = self._bim.taken(pc2)
+        g0 = self._g0.taken(i1)
+        g1 = self._g1.taken(i2)
+        majority = (bim + g0 + g1) >= 2
+        use_eskew = self._meta.taken(i0)
+        prediction = majority if use_eskew else bim
+        if majority != bim:
+            self._meta.train(i0, majority == taken)
+        if prediction != taken:
+            self._bim.train(pc2, taken)
+            self._g0.train(i1, taken)
+            self._g1.train(i2, taken)
+        else:
+            if bim == taken:
+                self._bim.train(pc2, taken)
+            if g0 == taken:
+                self._g0.train(i1, taken)
+            if g1 == taken:
+                self._g1.train(i2, taken)
+        return prediction

@@ -74,15 +74,35 @@ class PortedIssue:
         }
 
     def acquire(self, port: str, t: int) -> int:
-        """Book an issue slot of class ``port`` at or after ``t``."""
+        """Book an issue slot of class ``port`` at or after ``t``.
+
+        Equivalent to alternating ``peek`` calls on the class and total
+        allocators until they agree, then ``acquire`` on both — but fused
+        over the two booking dicts directly, since this runs once per
+        simulated instruction and the calls dominated its cost.
+        """
         class_alloc = self._classes[port]
+        total = self._total
+        class_booked = class_alloc._booked
+        total_booked = total._booked
+        class_cap = class_alloc.capacity
+        total_cap = total.capacity
         cycle = int(t)
         while True:
-            cycle = class_alloc.peek(cycle)
-            total_cycle = self._total.peek(cycle)
+            while class_booked.get(cycle, 0) >= class_cap:
+                cycle += 1
+            total_cycle = cycle
+            while total_booked.get(total_cycle, 0) >= total_cap:
+                total_cycle += 1
             if total_cycle == cycle:
-                class_alloc.acquire(cycle)
-                self._total.acquire(cycle)
+                class_booked[cycle] = class_booked.get(cycle, 0) + 1
+                class_alloc.acquired += 1
+                if len(class_booked) > 1 << 16:
+                    class_alloc._prune(cycle)
+                total_booked[cycle] = total_booked.get(cycle, 0) + 1
+                total.acquired += 1
+                if len(total_booked) > 1 << 16:
+                    total._prune(cycle)
                 return cycle
             cycle = total_cycle
 

@@ -56,6 +56,7 @@ class ThreadContext:
         "done",
         "resume_at",
         "pending_measures",
+        "measures_min_end",
     )
 
     def __init__(
@@ -110,6 +111,10 @@ class ThreadContext:
         self.resume_at = start_time
         #: deferred ILP-pred episodes: (pc, kind, start_t, end_t, start_count)
         self.pending_measures: deque[tuple[int, int, int, int, int]] = deque()
+        #: earliest ``end_t`` among pending measures, or a huge sentinel
+        #: when none are pending — lets the engine's per-instruction hot
+        #: path skip the finalize scan without touching the deque
+        self.measures_min_end = 1 << 62
 
     # ------------------------------------------------------------------
     @property

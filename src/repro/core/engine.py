@@ -17,8 +17,9 @@ speculative threads.
 
 from __future__ import annotations
 
-import heapq
+import time
 from collections import deque
+from heapq import heappop, heappush
 
 from repro.branch import TwoBcGskewPredictor, update_history
 from repro.core.allocators import PortedIssue, SlotAllocator
@@ -30,6 +31,27 @@ from repro.memory import Cache, MemLevel, MemoryHierarchy, StoreBuffer, StridePr
 from repro.select import AlwaysSelector, LoadSelector, PredictionKind
 from repro.vp import ValuePredictor
 from repro.vp.oracle import OraclePredictor
+
+# ----------------------------------------------------------------------
+# hot-loop lookup tables (see DESIGN.md §5c)
+#
+# _step runs once per simulated instruction; enum property lookups
+# (`op.is_memory`, `EXEC_LATENCY[op]` hashing) are measurable there, so the
+# per-op decisions are flattened into tuples indexed by the OpClass value.
+# Issue *port* and instruction *queue* use the same {int, fp, mem} partition
+# (Table 1), so one table serves both.
+_LOAD = OpClass.LOAD
+_STORE = OpClass.STORE
+_BRANCH = OpClass.BRANCH
+_QUEUE_OF = tuple(
+    "mem" if op.is_memory else ("fp" if op.is_fp else "int") for op in OpClass
+)
+_EXEC_LAT = tuple(EXEC_LATENCY[op] for op in OpClass)
+_KIND = (PredictionKind.NONE, PredictionKind.STVP, PredictionKind.MTVP)
+_KIND_NONE = PredictionKind.NONE
+_ML_L1 = MemLevel.L1
+_ML_L2 = MemLevel.L2
+_NO_MEASURES = 1 << 62  # pending-measures min-end sentinel: "nothing can fire"
 
 
 class SpawnRecord:
@@ -79,6 +101,11 @@ class Engine:
         config: Machine parameters and simulation mode.
         predictor: Load value predictor; defaults to the oracle.
         selector: Load selector; defaults to :class:`AlwaysSelector`.
+        reference_scheduler: Debug flag — run the straightforward
+            rebuild-and-``min()`` scheduler instead of the optimized
+            incremental one.  Results must be identical; tests compare the
+            two.  The reference path additionally records
+            ``max_runnable_observed``.
     """
 
     def __init__(
@@ -88,11 +115,15 @@ class Engine:
         predictor: ValuePredictor | None = None,
         selector: LoadSelector | None = None,
         warm_addresses=None,
+        reference_scheduler: bool = False,
     ) -> None:
         if not trace:
             raise ValueError("trace must not be empty")
         self.trace = trace
         self.config = config
+        self.reference_scheduler = reference_scheduler
+        #: peak simultaneously-runnable contexts (reference scheduler only)
+        self.max_runnable_observed = 0
         self.predictor = predictor if predictor is not None else OraclePredictor()
         self.selector = selector if selector is not None else AlwaysSelector()
         self.stats = SimStats()
@@ -154,6 +185,26 @@ class Engine:
         #: processor-wide fetched-instruction counter; ILP-pred episodes are
         #: measured in total forward progress, as in the paper
         self._global_fetched = 0
+
+        # hot-loop bindings: config fields read once per *instruction* are
+        # hoisted onto the engine so _step touches plain attributes instead
+        # of chasing self.config.<field> every time
+        self._trace_len = len(trace)
+        self._rob_size = config.rob_size
+        self._iq_size = config.iq_size
+        self._rename_regs = config.rename_regs
+        self._front_latency = config.front_latency
+        self._commit_width = config.commit_width
+        self._l1_latency = config.l1_latency
+        self._smt_shared = config.smt_shared
+        self._vp_on = config.mode is not SimMode.BASELINE
+        self._fetch_single = config.fetch_policy is FetchPolicy.SINGLE_FETCH_PATH
+        self._mode = config.mode
+        self._spawn_capable = config.mode in (SimMode.MTVP, SimMode.SPAWN_ONLY)
+        self._multi_value = config.multi_value
+        self._spawn_latency = config.spawn_latency
+        self._reissue_penalty = config.reissue_penalty
+        self._collect_multivalue = config.collect_multivalue
 
         root = ThreadContext(slot=0, order=self._alloc_order(), pos=0)
         self._contexts[0] = root
@@ -232,44 +283,6 @@ class Engine:
     def _alive_contexts(self) -> list[ThreadContext]:
         return [c for c in self._contexts if c is not None and c.alive]
 
-    @staticmethod
-    def _queue_of(op: OpClass) -> str:
-        if op.is_memory:
-            return "mem"
-        if op.is_fp:
-            return "fp"
-        return "int"
-
-    def _group_of(self, ctx: ThreadContext) -> int:
-        """Resource-group index: 0 for SMT (shared), the core id for CMP."""
-        return 0 if self.config.smt_shared else ctx.slot
-
-    def _iq_constraint(self, group: int, queue: str, limit: int) -> int:
-        """Earliest cycle a new entry fits in ``queue`` (0 = immediately).
-
-        When the queue is at its limit, the next slot opens when the
-        occupant with the *earliest* issue time leaves; that entry is
-        popped here, which both models the slot release and keeps the heap
-        bounded at the queue limit.
-        """
-        heap = self._iq_groups[group][queue]
-        if len(heap) < limit:
-            return 0
-        return heapq.heappop(heap)
-
-    def _iq_push(self, group: int, queue: str, issue_time: int) -> None:
-        heapq.heappush(self._iq_groups[group][queue], issue_time)
-
-    def _rename_constraint(self, group: int) -> int:
-        """Earliest cycle a rename register is available (0 = immediately)."""
-        heap = self._rename_groups[group]
-        if len(heap) < self.config.rename_regs:
-            return 0
-        return heapq.heappop(heap)
-
-    def _rename_push(self, group: int, commit_time: int) -> None:
-        heapq.heappush(self._rename_groups[group], commit_time)
-
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
@@ -278,10 +291,125 @@ class Engine:
         if self._ran:
             raise RuntimeError("Engine.run() may only be called once")
         self._ran = True
+        t0 = time.perf_counter()
+        if self.reference_scheduler:
+            self._run_scheduler_reference()
+        else:
+            self._run_scheduler()
+        self._close_final()
+        self._collect_component_stats()
+        stats = self.stats
+        stats.instructions_stepped = self._global_fetched
+        stats.wall_seconds = time.perf_counter() - t0
+        return stats
+
+    def _run_scheduler(self) -> None:
+        """Step contexts in approximate time order until the trace drains.
+
+        Scheduling policy (identical to :meth:`_run_scheduler_reference`):
+        among runnable contexts, step the one with the smallest
+        ``next_time_hint`` (ties break toward the lowest slot), unless a
+        pending spawn record resolves at or before that hint.
+
+        Two things make this loop fast without changing any decision:
+
+        * the candidate scan is inlined over the context slots — no list
+          build, no ``min(key=lambda)``, no property calls — and with at
+          most ``num_contexts`` (8) entries a first-minimum scan is already
+          the "small ordered structure" the ≥2-runnable case needs;
+        * once a context wins the scan, an inner loop keeps stepping it
+          without rescanning for as long as a rescan would provably pick
+          it again.  The other contexts' hints and runnable flags can only
+          change inside ``_resolve_next`` or when a spawn allocates a new
+          context, so between those events the winner keeps winning until
+          its own hint passes the runner-up's (ties break by slot, exactly
+          as in the scan).  This covers both the single-context modes and
+          the dominant MTVP state (parent blocked on its spawn, one child
+          running).
+        """
+        contexts = self._contexts
+        pending = self._pending
+        step = self._step
+        while True:
+            best = None
+            best_hint = 0
+            for c in contexts:
+                if (
+                    c is None
+                    or not c.alive
+                    or c.blocked
+                    or c.sb_paused
+                    or c.done
+                ):
+                    continue
+                hint = c.last_fetch
+                if c.resume_at > hint:
+                    hint = c.resume_at
+                if best is None or hint < best_hint:
+                    best = c
+                    best_hint = hint
+            if best is None:
+                if pending:
+                    self._resolve_next()
+                    continue
+                break
+            if pending and pending[0][0] <= best_hint:
+                self._resolve_next()
+                continue
+            # runner-up hint and the first slot achieving it: the winner
+            # stays the scheduling choice while it beats this bound
+            second_hint = -1
+            second_slot = 0
+            for c in contexts:
+                if (
+                    c is None
+                    or c is best
+                    or not c.alive
+                    or c.blocked
+                    or c.sb_paused
+                    or c.done
+                ):
+                    continue
+                hint = c.last_fetch
+                if c.resume_at > hint:
+                    hint = c.resume_at
+                if second_hint < 0 or hint < second_hint:
+                    second_hint = hint
+                    second_slot = c.slot
+            order_snap = self._next_order
+            best_slot = best.slot
+            c = best
+            step(c)
+            while (
+                c.alive
+                and not (c.blocked or c.sb_paused or c.done)
+                and self._next_order == order_snap
+            ):
+                hint = c.last_fetch
+                if c.resume_at > hint:
+                    hint = c.resume_at
+                if second_hint >= 0 and (
+                    hint > second_hint
+                    or (hint == second_hint and best_slot > second_slot)
+                ):
+                    break
+                if pending and pending[0][0] <= hint:
+                    break
+                step(c)
+
+    def _run_scheduler_reference(self) -> None:
+        """The original rebuild-everything scheduler, kept for A/B tests.
+
+        Bit-for-bit the pre-optimization loop; also tracks the peak number
+        of simultaneously runnable contexts so tests can prove a trace
+        exercised true multi-context scheduling.
+        """
         while True:
             runnable = [
                 c for c in self._contexts if c is not None and c.alive and c.runnable
             ]
+            if len(runnable) > self.max_runnable_observed:
+                self.max_runnable_observed = len(runnable)
             if runnable:
                 ctx = min(runnable, key=lambda c: c.next_time_hint)
                 if self._pending and self._pending[0][0] <= ctx.next_time_hint:
@@ -293,9 +421,6 @@ class Engine:
                 self._resolve_next()
                 continue
             break
-        self._close_final()
-        self._collect_component_stats()
-        return self.stats
 
     def _close_final(self) -> None:
         """Fold the surviving context(s) into the final accounting."""
@@ -322,14 +447,23 @@ class Engine:
     # one instruction
     # ------------------------------------------------------------------
     def _step(self, ctx: ThreadContext) -> None:
-        cfg = self.config
+        """Fetch/queue/issue/complete/commit one instruction of ``ctx``.
+
+        This is the simulator's innermost function — it runs once per
+        simulated instruction — so it trades a little repetition for
+        speed: the structural-constraint helpers are inlined, per-op
+        decisions come from flat tuples indexed by the op class, and
+        hot config fields are pre-bound engine attributes (see DESIGN.md
+        §5c).  Every decision is bit-identical to the straightforward
+        form this replaced.
+        """
         inst = self.trace[ctx.pos]
         op = inst.op
 
         # --- speculative store gating: never start a store the buffer
         # cannot hold; the thread stalls until a resolution frees space
         if (
-            op is OpClass.STORE
+            op is _STORE
             and ctx.speculative
             and self.store_buffer.is_full
         ):
@@ -338,32 +472,36 @@ class Engine:
             self._sb_waiters.append(ctx)
             return
 
-        # --- fetch
+        # --- fetch: gated on stream position, redirects, a ROB slot, a
+        # rename register and an IQ slot, then fetch bandwidth.  The
+        # constraint heaps release their earliest occupant when full —
+        # popping models the slot freeing and keeps each heap bounded.
         t = ctx.last_fetch
         if ctx.resume_at > t:
             t = ctx.resume_at
-        if len(ctx.rob) >= cfg.rob_size:
-            rob_head = ctx.rob[0]
-            if rob_head > t:
-                t = rob_head
-        group = self._group_of(ctx)
-        writes_reg = inst.dst is not None
-        if writes_reg:
-            rename_free = self._rename_constraint(group)
+        rob = ctx.rob
+        rob_size = self._rob_size
+        if len(rob) >= rob_size and rob[0] > t:
+            t = rob[0]
+        group = 0 if self._smt_shared else ctx.slot
+        dst = inst.dst
+        writes_reg = dst is not None
+        rename_heap = self._rename_groups[group]
+        if writes_reg and len(rename_heap) >= self._rename_regs:
+            rename_free = heappop(rename_heap)
             if rename_free > t:
                 t = rename_free
-        queue = self._queue_of(op)
-        iq_free = self._iq_constraint(group, queue, cfg.iq_size)
-        if iq_free > t:
-            t = iq_free
+        queue = _QUEUE_OF[op]
+        iq_heap = self._iq_groups[group][queue]
+        if len(iq_heap) >= self._iq_size:
+            iq_free = heappop(iq_heap)
+            if iq_free > t:
+                t = iq_free
         t_fetch = self._fetch_groups[group].acquire(t)
         ctx.last_fetch = t_fetch
 
-        # --- rename/queue
-        t_queue = t_fetch + cfg.front_latency
-
-        # --- operand ready
-        t_ready = t_queue
+        # --- rename/queue, operand ready
+        t_ready = t_queue = t_fetch + self._front_latency
         reg_ready = ctx.reg_ready
         for src in inst.srcs:
             if src:
@@ -371,61 +509,56 @@ class Engine:
                 if rt > t_ready:
                     t_ready = rt
 
-        # --- issue
-        port = "mem" if op.is_memory else ("fp" if op.is_fp else "int")
-        t_issue = self._issue_groups[group].acquire(port, t_ready)
-        self._iq_push(group, queue, t_issue)
+        # --- issue (issue-port class == queue class, Table 1)
+        t_issue = self._issue_groups[group].acquire(queue, t_ready)
+        heappush(iq_heap, t_issue)
 
-        # --- execute / memory access
-        expected_level: MemLevel | None = None
-        if op is OpClass.LOAD:
-            self.stats.loads += 1
-            forwarded = self.store_buffer.search(inst.addr, ctx.visible, ctx.pos)
-            if forwarded is not None:
-                t_complete = t_issue + cfg.l1_latency
-                expected_level = MemLevel.L1
+        # --- execute / memory access / value prediction / branches
+        stats = self.stats
+        spawn_record: SpawnRecord | None = None
+        if op is _LOAD:
+            stats.loads += 1
+            if self.store_buffer.search(inst.addr, ctx.visible, ctx.pos) is not None:
+                t_complete = t_issue + self._l1_latency
+                expected_level = _ML_L1
             else:
                 expected_level = self.hierarchy.probe_level(inst.addr)
-                result = self.hierarchy.load(inst.addr, inst.pc, t_issue)
-                t_complete = result.complete_time
-        elif op is OpClass.STORE:
-            t_complete = t_issue + 1
+                t_complete, _level = self.hierarchy.load(inst.addr, inst.pc, t_issue)
+            if self._vp_on:
+                dst_ready, spawn_record = self._handle_load_prediction(
+                    ctx, inst, t_queue, t_complete, expected_level
+                )
+            else:
+                dst_ready = t_complete
+                if expected_level >= _ML_L2:
+                    self._defer_measure(ctx, inst.pc, _KIND_NONE, t_queue, t_complete)
+        elif op is _STORE:
+            dst_ready = t_complete = t_issue + 1
         else:
-            t_complete = t_issue + EXEC_LATENCY[op]
-
-        # --- value prediction (queue stage)
-        dst_ready = t_complete
-        spawn_record: SpawnRecord | None = None
-        if op is OpClass.LOAD and cfg.mode is not SimMode.BASELINE:
-            dst_ready, spawn_record = self._handle_load_prediction(
-                ctx, inst, t_queue, t_complete, expected_level
-            )
-        elif op is OpClass.LOAD and expected_level is not None and expected_level >= MemLevel.L2:
-            self._defer_measure(ctx, inst.pc, PredictionKind.NONE, t_queue, t_complete)
-
-        # --- branch resolution
-        if op is OpClass.BRANCH:
-            self.stats.branches += 1
-            predicted = self.branch_predictor.predict(inst.pc, ctx.bhist)
-            self.branch_predictor.update(inst.pc, ctx.bhist, inst.taken)
-            ctx.bhist = update_history(ctx.bhist, inst.taken)
-            if predicted != inst.taken:
-                self.stats.branch_mispredicts += 1
-                redirect = t_complete + 1
-                if redirect > ctx.resume_at:
-                    ctx.resume_at = redirect
+            dst_ready = t_complete = t_issue + _EXEC_LAT[op]
+            if op is _BRANCH:
+                stats.branches += 1
+                predicted = self.branch_predictor.predict_and_update(
+                    inst.pc, ctx.bhist, inst.taken
+                )
+                ctx.bhist = update_history(ctx.bhist, inst.taken)
+                if predicted != inst.taken:
+                    stats.branch_mispredicts += 1
+                    redirect = t_complete + 1
+                    if redirect > ctx.resume_at:
+                        ctx.resume_at = redirect
 
         # --- writeback
         if writes_reg:
-            reg_ready[inst.dst] = dst_ready
+            reg_ready[dst] = dst_ready
 
         # --- commit (in-order, bandwidth-limited)
-        t_commit = ctx.commit_slot(t_complete + 1, cfg.commit_width)
+        t_commit = ctx.commit_slot(t_complete + 1, self._commit_width)
         if spawn_record is not None:
             spawn_record.load_commit_time = t_commit
 
-        if op is OpClass.STORE:
-            self.stats.stores += 1
+        if op is _STORE:
+            stats.stores += 1
             if ctx.speculative:
                 # pre-checked above: allocation cannot fail here
                 self.store_buffer.allocate(
@@ -435,30 +568,32 @@ class Engine:
                 self.hierarchy.store(inst.addr, t_commit)
 
         # --- window bookkeeping
-        ctx.rob.append(t_commit)
-        if len(ctx.rob) > cfg.rob_size:
-            ctx.rob.popleft()
+        rob.append(t_commit)
+        if len(rob) > rob_size:
+            rob.popleft()
         if writes_reg:
-            self._rename_push(group, t_commit)
+            heappush(rename_heap, t_commit)
 
         # --- commit accounting (closure-based; see DESIGN.md)
-        if ctx.arch_limit is None or ctx.pos <= ctx.arch_limit:
+        arch_limit = ctx.arch_limit
+        if arch_limit is None or ctx.pos <= arch_limit:
             ctx.within_commits += 1
             ctx.last_within_commit = t_commit
         else:
             ctx.beyond_commits += 1
 
         # --- predictor training at commit, in program order
-        if op is OpClass.LOAD and inst.value is not None:
+        if op is _LOAD and inst.value is not None:
             self.predictor.train(inst, inst.value)
 
         ctx.fetched_count += 1
         self._global_fetched += 1
-        self._finalize_measures(ctx, t_fetch)
+        if t_fetch >= ctx.measures_min_end:
+            self._finalize_measures(ctx, t_fetch)
         ctx.pos += 1
-        if ctx.pos >= len(self.trace):
+        if ctx.pos >= self._trace_len:
             ctx.done = True
-        if spawn_record is not None and cfg.fetch_policy is FetchPolicy.SINGLE_FETCH_PATH:
+        if spawn_record is not None and self._fetch_single:
             ctx.blocked = True
 
     # ------------------------------------------------------------------
@@ -476,20 +611,21 @@ class Engine:
 
         Returns (destination ready time, spawn record or None).
         """
-        cfg = self.config
         stats = self.stats
+        predictor = self.predictor
+        mode = self._mode
         # every unpredicted load contributes a no-prediction episode so the
         # ILP-pred baseline exists even for PCs that always hit the L1
         # (those are exactly the loads it must learn not to spawn on)
         worth_measuring = True
 
         spawn_possible = (
-            cfg.mode in (SimMode.MTVP, SimMode.SPAWN_ONLY)
+            self._spawn_capable
             and not ctx.pending_spawn
             and self._free_slot() is not None
         )
 
-        if cfg.mode is SimMode.SPAWN_ONLY:
+        if mode is SimMode.SPAWN_ONLY:
             kind = self.selector.choose(inst, spawn_possible, expected_level)
             if kind is not PredictionKind.MTVP or not spawn_possible:
                 if kind is PredictionKind.MTVP:
@@ -506,19 +642,19 @@ class Engine:
             )
             return t_complete, record
 
-        prediction = self.predictor.predict(inst)
+        prediction = predictor.predict(inst)
         if prediction is None:
             if worth_measuring:
                 self._defer_measure(ctx, inst.pc, PredictionKind.NONE, t_queue, t_complete)
             return t_complete, None
 
-        if cfg.mode is SimMode.MTVP and not spawn_possible:
+        if mode is SimMode.MTVP and not spawn_possible:
             # a confident prediction arrived while every context was busy —
             # the lost-opportunity statistic behind the thread-count studies
             stats.spawn_denied_no_context += 1
 
         kind = self.selector.choose(inst, spawn_possible, expected_level)
-        if cfg.mode is SimMode.STVP and kind is PredictionKind.MTVP:
+        if mode is SimMode.STVP and kind is PredictionKind.MTVP:
             kind = PredictionKind.STVP
         if kind is PredictionKind.NONE:
             stats.declined_predictions += 1
@@ -528,10 +664,10 @@ class Engine:
 
         # Figure 5 instrumentation: was the right value available even when
         # the primary prediction is wrong?
-        if cfg.collect_multivalue:
+        if self._collect_multivalue:
             stats.followed_predictions += 1
             if prediction.value != inst.value:
-                candidates = self.predictor.predict_all(inst)
+                candidates = predictor.predict_all(inst)
                 if any(p.value == inst.value for p in candidates):
                     stats.primary_wrong_candidate_present += 1
 
@@ -541,7 +677,7 @@ class Engine:
         if kind is PredictionKind.STVP:
             stats.stvp_predictions += 1
             correct = prediction.value == inst.value
-            self.predictor.record_outcome(correct)
+            predictor.record_outcome(correct)
             self._defer_measure(ctx, inst.pc, PredictionKind.STVP, t_queue, t_complete)
             if correct:
                 stats.stvp_correct += 1
@@ -549,13 +685,13 @@ class Engine:
             stats.stvp_incorrect += 1
             # selective re-issue: dependents re-execute once the true value
             # arrives; commit was never early, so only the dependents pay
-            return t_complete + cfg.reissue_penalty, None
+            return t_complete + self._reissue_penalty, None
 
         # MTVP: spawn one thread per followed value (multi-value capable)
         values: list[tuple[int, int]] = []
-        spawn_ready = t_queue + cfg.spawn_latency
-        if cfg.multi_value > 1:
-            for cand in self.predictor.predict_all(inst)[: cfg.multi_value]:
+        spawn_ready = t_queue + self._spawn_latency
+        if self._multi_value > 1:
+            for cand in predictor.predict_all(inst)[: self._multi_value]:
                 values.append((cand.value, spawn_ready))
         else:
             values.append((prediction.value, spawn_ready))
@@ -596,7 +732,7 @@ class Engine:
             )
             child.reg_ready[inst.dst] = ready_time if kind is SimMode.MTVP else t_complete
             child.spawn_record_as_child = record
-            if child.pos >= len(self.trace):
+            if child.pos >= self._trace_len:
                 # spawned on the final instruction: nothing left to run,
                 # the child only waits for its confirmation
                 child.done = True
@@ -607,7 +743,7 @@ class Engine:
         parent.arch_limit = parent.pos
         parent.pending_spawn = True
         parent.spawn_record_as_parent = record
-        heapq.heappush(self._pending, (t_complete, self._heap_seq, record))
+        heappush(self._pending, (t_complete, self._heap_seq, record))
         self._heap_seq += 1
         return record
 
@@ -615,7 +751,7 @@ class Engine:
     # resolution
     # ------------------------------------------------------------------
     def _resolve_next(self) -> None:
-        resolve_time, _seq, record = heapq.heappop(self._pending)
+        resolve_time, _seq, record = heappop(self._pending)
         if record.void or not record.parent.alive:
             return
         parent = record.parent
@@ -783,42 +919,56 @@ class Engine:
         ctx.pending_measures.append(
             (pc, int(kind), start_time, end_time, self._global_fetched)
         )
+        if end_time < ctx.measures_min_end:
+            ctx.measures_min_end = end_time
 
     def _finalize_oldest(self, ctx: ThreadContext) -> None:
         pc, kind, start_t, end_t, start_count = ctx.pending_measures.popleft()
         self.selector.record(
             pc,
-            PredictionKind(kind),
+            _KIND[kind],
             max(0, self._global_fetched - start_count),
             max(1, end_t - start_t),
         )
+        pm = ctx.pending_measures
+        ctx.measures_min_end = min(e[3] for e in pm) if pm else _NO_MEASURES
 
     def _finalize_measures(self, ctx: ThreadContext, now: int) -> None:
+        """Record every deferred episode whose window has closed.
+
+        ``ctx.measures_min_end`` caches the earliest close time so the
+        per-instruction caller can skip this scan entirely (the common
+        case); it is refreshed whenever the pending set changes.
+        """
         if not ctx.pending_measures:
             return
+        selector_record = self.selector.record
+        global_fetched = self._global_fetched
         remaining: deque[tuple[int, int, int, int, int]] = deque()
         for entry in ctx.pending_measures:
             pc, kind, start_t, end_t, start_count = entry
             if end_t <= now:
-                self.selector.record(
+                selector_record(
                     pc,
-                    PredictionKind(kind),
-                    max(0, self._global_fetched - start_count),
+                    _KIND[kind],
+                    max(0, global_fetched - start_count),
                     max(1, end_t - start_t),
                 )
             else:
                 remaining.append(entry)
         ctx.pending_measures = remaining
+        ctx.measures_min_end = (
+            min(e[3] for e in remaining) if remaining else _NO_MEASURES
+        )
 
     def _flush_measures(self, ctx: ThreadContext, drop: bool = False) -> None:
-        if drop:
-            ctx.pending_measures.clear()
-            return
-        for pc, kind, start_t, end_t, start_count in ctx.pending_measures:
-            self.selector.record(
-                pc,
-                PredictionKind(kind),
-                max(0, self._global_fetched - start_count),
-                max(1, end_t - start_t),
-            )
+        if not drop:
+            for pc, kind, start_t, end_t, start_count in ctx.pending_measures:
+                self.selector.record(
+                    pc,
+                    _KIND[kind],
+                    max(0, self._global_fetched - start_count),
+                    max(1, end_t - start_t),
+                )
         ctx.pending_measures.clear()
+        ctx.measures_min_end = _NO_MEASURES

@@ -50,6 +50,14 @@ class SimStats:
     # multiple-value potential (Figure 5)
     followed_predictions: int = 0
     primary_wrong_candidate_present: int = 0
+    # throughput instrumentation
+    #: every instruction the engine stepped, speculative or not (equals the
+    #: engine's processor-wide fetched counter); deterministic, unlike the
+    #: commit-accounted useful/wasted split it decomposes into
+    instructions_stepped: int = 0
+    #: host wall-clock seconds spent inside Engine.run(); volatile (machine-
+    #: dependent), so it is excluded from equality and from to_dict()
+    wall_seconds: float = dataclasses.field(default=0.0, compare=False)
 
     # ------------------------------------------------------------------
     @property
@@ -87,6 +95,15 @@ class SimStats:
         return self.level_counts[MemLevel.MEMORY] / self.loads
 
     @property
+    def sim_kips(self) -> float:
+        """Simulation throughput: thousands of stepped instructions per
+        host wall-clock second.  0.0 when no timing was recorded (e.g. a
+        stats object rebuilt from a cache entry)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.instructions_stepped / self.wall_seconds / 1e3
+
+    @property
     def multivalue_fraction(self) -> float:
         """Figure 5 metric: followed predictions whose primary value was
         wrong while the correct value was present and over threshold."""
@@ -95,8 +112,15 @@ class SimStats:
         return self.primary_wrong_candidate_present / self.followed_predictions
 
     def to_dict(self) -> dict:
-        """Counters as plain JSON-serializable types (see :meth:`from_dict`)."""
+        """Counters as plain JSON-serializable types (see :meth:`from_dict`).
+
+        ``wall_seconds`` is deliberately dropped: it is host-dependent, and
+        everything downstream of this dict (result cache entries, exports,
+        golden digests, determinism checks) must stay bit-identical across
+        machines and runs.
+        """
         out = dataclasses.asdict(self)
+        del out["wall_seconds"]
         out["level_counts"] = {
             level.name.lower(): count for level, count in self.level_counts.items()
         }
@@ -131,4 +155,9 @@ class SimStats:
             f"loads to memory      {self.memory_miss_fraction:.2%}",
             f"store-buffer stalls  {self.store_buffer_stalls}",
         ]
+        if self.wall_seconds > 0.0:
+            lines.append(
+                f"sim throughput       {self.sim_kips:.1f} kips "
+                f"({self.instructions_stepped} steps in {self.wall_seconds:.3f}s)"
+            )
         return "\n".join(lines)

@@ -7,6 +7,15 @@ human-readable output; the benchmark suite under ``benchmarks/`` drives
 them through pytest-benchmark.
 """
 
+from repro.harness.bench import (
+    TABLE1_POINTS,
+    BenchPoint,
+    format_bench,
+    load_bench,
+    run_bench,
+    run_point,
+    write_bench,
+)
 from repro.harness.export import (
     load_result_json,
     result_to_csv,
@@ -36,8 +45,10 @@ from repro.harness.experiments import (
 )
 
 __all__ = [
+    "BenchPoint",
     "EXPERIMENTS",
     "ExperimentResult",
+    "TABLE1_POINTS",
     "ablation_memory_latency",
     "ModeResult",
     "ResultCache",
@@ -50,14 +61,18 @@ __all__ = [
     "fig4_fetch_policy",
     "fig5_multivalue_potential",
     "fig6_wide_window",
+    "format_bench",
     "geomean_speedup",
+    "load_bench",
     "load_result_json",
     "percent_speedup",
     "result_to_csv",
     "result_to_dict",
     "result_to_json",
     "stats_to_dict",
+    "run_bench",
     "run_once",
+    "run_point",
     "run_simulations",
     "sec4_prefetcher_ablation",
     "task_key",
@@ -65,4 +80,5 @@ __all__ = [
     "sec53_store_buffer",
     "sec54_dfcm_vs_wf",
     "sec56_multivalue",
+    "write_bench",
 ]

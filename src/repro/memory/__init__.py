@@ -11,12 +11,11 @@ This package implements the memory hierarchy of Table 1 in the paper:
 """
 
 from repro.memory.cache import Cache
-from repro.memory.hierarchy import AccessResult, MemoryHierarchy, MemLevel
+from repro.memory.hierarchy import MemoryHierarchy, MemLevel
 from repro.memory.prefetcher import StridePrefetcher, StreamBuffer
 from repro.memory.store_buffer import StoreBuffer, StoreEntry
 
 __all__ = [
-    "AccessResult",
     "Cache",
     "MemLevel",
     "MemoryHierarchy",

@@ -8,6 +8,10 @@ advancing the context with the smallest local clock.
 
 from __future__ import annotations
 
+#: distinguishes "absent" from the stored value (always ``None``) so the
+#: hot lookup path can do one ``dict.pop`` instead of test + delete + insert
+_MISS = object()
+
 
 class Cache:
     """Set-associative cache storing line tags with LRU replacement.
@@ -47,6 +51,9 @@ class Cache:
         self._set_mask = self.num_sets - 1
         self._line_shift = line_size.bit_length() - 1
         self._sets: list[dict[int, None]] = [{} for _ in range(self.num_sets)]
+        #: running count of valid lines, maintained by insert/invalidate so
+        #: occupancy is O(1) instead of a sum over every set
+        self._lines = 0
         self.hits = 0
         self.misses = 0
 
@@ -60,16 +67,19 @@ class Cache:
         A miss does *not* allocate; call :meth:`insert` when the fill
         arrives (the hierarchy does this immediately since timing is
         tracked separately).
+
+        The hit path is a single ``pop``-and-reinsert: one membership
+        test doubles as the removal, halving the dict operations on the
+        engine's most common memory outcome.
         """
-        line = self.line_of(addr)
+        line = addr >> self._line_shift
         cset = self._sets[line & self._set_mask]
-        if line in cset:
-            del cset[line]
-            cset[line] = None
-            self.hits += 1
-            return True
-        self.misses += 1
-        return False
+        if cset.pop(line, _MISS) is _MISS:
+            self.misses += 1
+            return False
+        cset[line] = None
+        self.hits += 1
+        return True
 
     def probe(self, addr: int) -> bool:
         """Non-destructive presence check (no LRU update, no stats)."""
@@ -91,6 +101,8 @@ class Cache:
         elif len(cset) >= self.assoc:
             victim = next(iter(cset))
             del cset[victim]
+        else:
+            self._lines += 1
         cset[line] = None
         return victim
 
@@ -100,13 +112,14 @@ class Cache:
         cset = self._sets[line & self._set_mask]
         if line in cset:
             del cset[line]
+            self._lines -= 1
             return True
         return False
 
     @property
     def occupancy(self) -> int:
-        """Number of valid lines currently held."""
-        return sum(len(s) for s in self._sets)
+        """Number of valid lines currently held (O(1): maintained count)."""
+        return self._lines
 
     def reset_stats(self) -> None:
         """Zero the hit/miss counters without touching contents."""

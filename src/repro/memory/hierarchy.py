@@ -31,19 +31,6 @@ class MemLevel(enum.IntEnum):
     MEMORY = 4
 
 
-class AccessResult:
-    """Outcome of one data-cache access."""
-
-    __slots__ = ("complete_time", "level")
-
-    def __init__(self, complete_time: int, level: MemLevel) -> None:
-        self.complete_time = complete_time
-        self.level = level
-
-    def __repr__(self) -> str:
-        return f"AccessResult(t={self.complete_time}, level={self.level.name})"
-
-
 class MemoryHierarchy:
     """L1/L2/L3 + memory with a stride prefetcher in front of L2.
 
@@ -78,6 +65,9 @@ class MemoryHierarchy:
         self._mshr_heap: list[int] = []
         #: line address -> fill completion time for in-flight misses
         self._inflight: dict[int, int] = {}
+        #: next _inflight size at which a pruning sweep runs; doubles when
+        #: a sweep frees little, so sweeps stay amortized O(1) per miss
+        self._prune_threshold = 4096
         self.accesses = 0
         self.mshr_stalls = 0
         self.level_counts: dict[MemLevel, int] = {level: 0 for level in MemLevel}
@@ -88,35 +78,44 @@ class MemoryHierarchy:
 
         Contexts run on slightly skewed local clocks, so records are kept
         for a grace window past completion rather than dropped eagerly.
+        Sweeps are amortized: each full rescan raises the size threshold
+        for the next one to twice the surviving population, so even a
+        pathological miss stream that keeps every record live pays O(1)
+        amortized per miss instead of rescanning the whole dict every time.
         """
-        if len(self._inflight) < 4096:
+        inflight = self._inflight
+        if len(inflight) < self._prune_threshold:
             return
         horizon = now - 4 * self.mem_latency
-        for line in [ln for ln, t in self._inflight.items() if t < horizon]:
-            del self._inflight[line]
+        for line in [ln for ln, t in inflight.items() if t < horizon]:
+            del inflight[line]
+        self._prune_threshold = max(4096, 2 * len(inflight))
 
-    def load(self, addr: int, pc: int, now: int) -> AccessResult:
+    def load(self, addr: int, pc: int, now: int) -> tuple[int, MemLevel]:
         """Perform a demand load access at time ``now``.
 
-        Returns the completion time and the level that satisfied the
-        access.  Fills update all levels immediately (contents-only model);
-        the returned time carries the latency.
+        Returns ``(complete_time, level)`` — the completion time and the
+        level that satisfied the access, as a plain tuple to keep the
+        per-load allocation cost at zero on the engine's hot path.  Fills
+        update all levels immediately (contents-only model); the returned
+        time carries the latency.
         """
         self.accesses += 1
-        line = self.l1.line_of(addr)
+        level_counts = self.level_counts
+        l1 = self.l1
+        line = addr >> l1._line_shift
         # an access to a line whose fill is still in flight completes when
         # that fill lands, regardless of where the (already-inserted)
         # contents nominally sit — checked first because fills update
         # cache state at request time in this contents-only model
         pending = self._inflight.get(line)
         if pending is not None and pending > now:
-            self.l1.lookup(addr)  # keep LRU state moving
-            self.level_counts[MemLevel.L1] += 1  # a merged, L1-level wait
-            return AccessResult(pending, MemLevel.L1)
-        if self.l1.lookup(addr):
-            result = AccessResult(now + self.l1.latency, MemLevel.L1)
-            self.level_counts[MemLevel.L1] += 1
-            return result
+            l1.lookup(addr)  # keep LRU state moving
+            level_counts[MemLevel.L1] += 1  # a merged, L1-level wait
+            return pending, MemLevel.L1
+        if l1.lookup(addr):
+            level_counts[MemLevel.L1] += 1
+            return now + l1.latency, MemLevel.L1
         if self.prefetcher is not None:
             # stream buffers filter the miss stream: a hit consumes the
             # entry and extends the stream; only stream misses train the
@@ -124,19 +123,19 @@ class MemoryHierarchy:
             # buffer and evict the very stream that is working)
             stream_time = self.prefetcher.lookup(addr, now)
             if stream_time is not None:
-                self.l1.insert(addr)
-                self.level_counts[MemLevel.STREAM] += 1
-                return AccessResult(stream_time, MemLevel.STREAM)
+                l1.insert(addr)
+                level_counts[MemLevel.STREAM] += 1
+                return stream_time, MemLevel.STREAM
             self.prefetcher.train(pc, addr, now)
         if self.l2.lookup(addr):
-            self.l1.insert(addr)
-            self.level_counts[MemLevel.L2] += 1
-            return AccessResult(now + self.l2.latency, MemLevel.L2)
+            l1.insert(addr)
+            level_counts[MemLevel.L2] += 1
+            return now + self.l2.latency, MemLevel.L2
         if self.l3.lookup(addr):
-            self.l1.insert(addr)
+            l1.insert(addr)
             self.l2.insert(addr)
-            self.level_counts[MemLevel.L3] += 1
-            return AccessResult(now + self.l3.latency, MemLevel.L3)
+            level_counts[MemLevel.L3] += 1
+            return now + self.l3.latency, MemLevel.L3
         # full miss to memory, subject to MSHR availability
         start = now
         heap = self._mshr_heap
@@ -147,13 +146,13 @@ class MemoryHierarchy:
             self.mshr_stalls += 1
         complete = start + self.mem_latency
         heapq.heappush(heap, complete)
-        self.l1.insert(addr)
+        l1.insert(addr)
         self.l2.insert(addr)
         self.l3.insert(addr)
         self._inflight[line] = complete
         self._prune_inflight(now)
-        self.level_counts[MemLevel.MEMORY] += 1
-        return AccessResult(complete, MemLevel.MEMORY)
+        level_counts[MemLevel.MEMORY] += 1
+        return complete, MemLevel.MEMORY
 
     def store(self, addr: int, now: int) -> None:
         """Retire a store into the hierarchy (write-allocate, contents only).

@@ -17,16 +17,16 @@ def make_hierarchy(prefetcher=None, mshrs=16):
 class TestLatencies:
     def test_cold_miss_costs_memory_latency(self):
         h = make_hierarchy()
-        result = h.load(0x10000, pc=0x100, now=5)
-        assert result.level is MemLevel.MEMORY
-        assert result.complete_time == 5 + 1000
+        complete, level = h.load(0x10000, pc=0x100, now=5)
+        assert level is MemLevel.MEMORY
+        assert complete == 5 + 1000
 
     def test_l1_hit_after_fill(self):
         h = make_hierarchy()
         h.load(0x10000, 0x100, 0)
-        result = h.load(0x10000, 0x100, 2000)
-        assert result.level is MemLevel.L1
-        assert result.complete_time == 2000 + 2
+        complete, level = h.load(0x10000, 0x100, 2000)
+        assert level is MemLevel.L1
+        assert complete == 2000 + 2
 
     def test_l2_hit_when_l1_evicted(self):
         h = make_hierarchy()
@@ -34,9 +34,9 @@ class TestLatencies:
         # blow the tiny L1 with conflicting lines, keeping L2 resident
         for i in range(1, 200):
             h.load(0x10000 + i * 64, 0x100, 0)
-        result = h.load(0x10000, 0x100, 5000)
-        assert result.level is MemLevel.L2
-        assert result.complete_time == 5000 + 20
+        complete, level = h.load(0x10000, 0x100, 5000)
+        assert level is MemLevel.L2
+        assert complete == 5000 + 20
 
     def test_inclusive_fill(self):
         h = make_hierarchy()
@@ -49,23 +49,23 @@ class TestLatencies:
 class TestMissMerging:
     def test_second_access_merges_with_inflight_fill(self):
         h = make_hierarchy()
-        first = h.load(0x20000, 0x100, 0)
-        second = h.load(0x20000 + 8, 0x104, 100)
-        assert second.complete_time == first.complete_time
+        first, _ = h.load(0x20000, 0x100, 0)
+        second, _ = h.load(0x20000 + 8, 0x104, 100)
+        assert second == first
 
     def test_after_fill_completes_it_is_a_plain_hit(self):
         h = make_hierarchy()
         h.load(0x20000, 0x100, 0)
-        result = h.load(0x20000, 0x100, 1500)
-        assert result.level is MemLevel.L1
+        _, level = h.load(0x20000, 0x100, 1500)
+        assert level is MemLevel.L1
 
 
 class TestMshrs:
     def test_mshr_limit_serializes_excess_misses(self):
         h = make_hierarchy(mshrs=2)
-        t0 = h.load(0x1000000, 0x100, 0).complete_time
-        t1 = h.load(0x2000000, 0x104, 0).complete_time
-        t2 = h.load(0x3000000, 0x108, 0).complete_time
+        t0 = h.load(0x1000000, 0x100, 0)[0]
+        t1 = h.load(0x2000000, 0x104, 0)[0]
+        t2 = h.load(0x3000000, 0x108, 0)[0]
         assert t0 == 1000 and t1 == 1000
         # the third miss waits for the earliest fill to free an MSHR
         assert t2 == 2000
@@ -74,8 +74,8 @@ class TestMshrs:
     def test_mshrs_recycle_over_time(self):
         h = make_hierarchy(mshrs=1)
         h.load(0x1000000, 0x100, 0)
-        late = h.load(0x2000000, 0x104, 5000)
-        assert late.complete_time == 6000
+        late, _ = h.load(0x2000000, 0x104, 5000)
+        assert late == 6000
         assert h.mshr_stalls == 0
 
 
@@ -83,8 +83,8 @@ class TestStores:
     def test_store_allocates_into_caches(self):
         h = make_hierarchy()
         h.store(0x50000, 0)
-        result = h.load(0x50000, 0x100, 10)
-        assert result.level is MemLevel.L1
+        _, level = h.load(0x50000, 0x100, 10)
+        assert level is MemLevel.L1
 
     def test_store_hit_keeps_line(self):
         h = make_hierarchy()

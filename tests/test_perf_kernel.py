@@ -1,0 +1,225 @@
+"""Regression guards for the optimized simulation kernel.
+
+The kernel-optimization PR rewrote the scheduler, ``_step`` and the memory
+path for throughput under a bit-identity contract: every timing decision
+must match the straightforward pre-optimization engine.  These tests pin
+that contract down from three directions:
+
+* golden digests — full SimStats dicts captured from the pre-optimization
+  engine on fixed (workload, config, seed) points, one per SimMode;
+* a scheduler A/B test — the incremental scheduler against the reference
+  ``min()``-over-runnable scheduler on a spawn-heavy multi-context run;
+* unit guards for the O(1)/amortized bookkeeping (cache occupancy,
+  in-flight pruning) and the throughput layer (bench module, --profile).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pstats
+from pathlib import Path
+
+import pytest
+
+from repro import _steady_state_footprint
+from repro.core import FetchPolicy, MachineConfig
+from repro.core.engine import Engine
+from repro.memory import Cache, MemoryHierarchy
+from repro.select import AlwaysSelector, IlpPredSelector
+from repro.vp import OraclePredictor, WangFranklinPredictor
+from repro.workloads import get_workload
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_stats.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+PREDICTORS = {"wang_franklin": WangFranklinPredictor, "oracle": OraclePredictor}
+SELECTORS = {"ilp_pred": IlpPredSelector, "always": AlwaysSelector}
+
+
+def _canonical_stats(stats) -> dict:
+    d = stats.to_dict()
+    # not part of the captured goldens: the field postdates them, and the
+    # digest must stay comparable across future additive stats changes
+    d.pop("instructions_stepped", None)
+    return d
+
+
+def _digest(d: dict) -> str:
+    blob = json.dumps(d, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _run_fixture(fx: dict, reference_scheduler: bool = False):
+    """Replay a fixture exactly as :func:`repro.simulate` would run it
+    (including steady-state cache warmup), with scheduler choice exposed."""
+    name, kwargs = fx["config"]
+    config = getattr(MachineConfig, name)(**kwargs)
+    workload = get_workload(fx["workload"])
+    trace = workload.trace(length=fx["length"], seed=fx["seed"])
+    warm = _steady_state_footprint(workload, config) if config.warm_caches else None
+    engine = Engine(
+        trace,
+        config,
+        predictor=PREDICTORS[fx["predictor"]](),
+        selector=SELECTORS[fx["selector"]](),
+        warm_addresses=warm,
+        reference_scheduler=reference_scheduler,
+    )
+    return engine, engine.run()
+
+
+class TestGoldenDigests:
+    """The optimized engine reproduces pre-optimization stats bit for bit."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_stats_match_golden(self, name):
+        fx = GOLDEN[name]
+        _engine, stats = _run_fixture(fx)
+        got = _canonical_stats(stats)
+        assert got == fx["stats"], f"stats diverged from golden {name!r}"
+        assert _digest(got) == fx["digest"]
+
+    def test_goldens_cover_every_mode(self):
+        # one fixture per simulated mode family, so a regression in any
+        # mode-specific path cannot slip through unexercised
+        families = {fx["config"][0] for fx in GOLDEN.values()}
+        assert {"hpca05_baseline", "stvp", "mtvp", "spawn_only"} <= families
+
+
+class TestSchedulerEquivalence:
+    """Incremental scheduler == reference min()-scheduler, decision for
+    decision, including with several simultaneously runnable contexts."""
+
+    # NO_STALL keeps the spawning parent fetching alongside its children,
+    # which is what actually populates the runnable set; gcc's branchy
+    # trace spawns eagerly enough to stack contexts four deep
+    MULTI_FX = {
+        "workload": "gcc 1",
+        "length": 3000,
+        "seed": 7,
+        "config": ["mtvp", {"threads": 8,
+                            "fetch_policy": FetchPolicy.NO_STALL,
+                            "multi_value": 2}],
+        "predictor": "oracle",
+        "selector": "always",
+    }
+
+    def test_multi_context_run_is_genuinely_multi(self):
+        engine, stats = _run_fixture(self.MULTI_FX, reference_scheduler=True)
+        assert engine.max_runnable_observed >= 3
+        assert stats.spawns > 100
+
+    @pytest.mark.parametrize("fx", [MULTI_FX] + [GOLDEN[n] for n in sorted(GOLDEN)],
+                             ids=["multi_context"] + sorted(GOLDEN))
+    def test_fast_scheduler_matches_reference(self, fx):
+        _eng_ref, ref_stats = _run_fixture(fx, reference_scheduler=True)
+        _eng_fast, fast_stats = _run_fixture(fx, reference_scheduler=False)
+        assert _canonical_stats(fast_stats) == _canonical_stats(ref_stats)
+
+
+class TestBookkeeping:
+    def test_cache_occupancy_tracks_actual_lines(self):
+        cache = Cache(size_bytes=4096, assoc=2, line_size=64)
+        assert cache.occupancy == 0
+        # fill past capacity so insert exercises all three branches
+        # (new line, re-reference, eviction), then invalidate some
+        for i in range(200):
+            cache.insert((i * 64) % (8192))
+        for i in range(0, 40, 2):
+            cache.invalidate(i * 64)
+        cache.insert(0)  # re-insert one invalidated line
+        assert cache.occupancy == sum(len(s) for s in cache._sets)
+        assert 0 < cache.occupancy <= cache.num_sets * cache.assoc
+
+    def test_invalidate_miss_leaves_occupancy_alone(self):
+        cache = Cache(size_bytes=4096, assoc=2, line_size=64)
+        cache.insert(0)
+        assert not cache.invalidate(1 << 30)
+        assert cache.occupancy == 1
+
+    def test_inflight_prune_is_amortized(self):
+        h = MemoryHierarchy()
+        # below the threshold nothing is scanned, regardless of staleness
+        h._inflight = {line: 0 for line in range(100)}
+        h._prune_inflight(now=10**9)
+        assert len(h._inflight) == 100
+
+        # past the threshold, stale records go and the threshold re-arms
+        # to twice the survivors (floored), so the next sweep is again
+        # amortized against new growth rather than every access
+        h._inflight = {line: 0 for line in range(5000)}
+        h._inflight.update({line: 10**9 for line in range(5000, 5100)})
+        h._prune_inflight(now=10**9)
+        assert len(h._inflight) == 100
+        assert h._prune_threshold == 4096
+
+        h._inflight = {line: 10**9 for line in range(5000)}
+        h._prune_inflight(now=10**9)
+        assert len(h._inflight) == 5000
+        assert h._prune_threshold == 10000
+
+
+class TestThroughputLayer:
+    def test_bench_run_point_records_speedup_and_digest(self):
+        from repro.harness.bench import TABLE1_POINTS, run_point
+
+        point = TABLE1_POINTS[0]
+        rec = run_point(point, repeats=1)
+        assert rec["name"] == "table1_baseline_mcf"
+        assert rec["instructions"] > 0
+        assert rec["ips"] > 0
+        assert len(rec["stats_digest"]) == 64
+        assert rec["speedup_vs_pre_opt"] > 0
+
+        # a shortened run loses the pre-opt comparison (length-specific)
+        short = run_point(point, repeats=1, length=1000)
+        assert "speedup_vs_pre_opt" not in short
+        assert short["length"] == 1000
+
+    def test_bench_results_roundtrip_and_format(self, tmp_path):
+        from repro.harness.bench import (
+            TABLE1_POINTS,
+            format_bench,
+            load_bench,
+            run_bench,
+            write_bench,
+        )
+
+        results = run_bench(points=TABLE1_POINTS[:1], repeats=1, length=800)
+        path = write_bench(results, tmp_path / "bench.json")
+        assert load_bench(path) == results
+        table = format_bench(results, previous=results)
+        assert "table1_baseline_mcf" in table
+        assert "+0.0%" in table  # identical previous run -> zero delta
+        assert load_bench(tmp_path / "missing.json") is None
+
+    def test_committed_bench_record_is_current_schema(self):
+        from repro.harness.bench import PRE_OPT_REFERENCE_IPS, load_bench
+
+        committed = load_bench(Path(__file__).parent.parent / "BENCH_engine.json")
+        assert committed is not None, "BENCH_engine.json missing at repo root"
+        assert committed["schema"] == 1
+        names = {p["name"] for p in committed["points"]}
+        assert names == set(PRE_OPT_REFERENCE_IPS)
+
+    def test_cli_profile_writes_loadable_profile(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        prof = tmp_path / "run.prof"
+        rc = main(["run", "mcf", "--machine", "baseline",
+                   "--length", "400", "--profile", str(prof)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sim throughput" in out and "kips" in out
+        stats = pstats.Stats(str(prof))
+        functions = {fn for _, _, fn in stats.stats}
+        assert "run" in functions or "_run_scheduler" in functions
+
+    def test_engine_reports_wall_time_and_kips(self):
+        trace = get_workload("mcf").trace(length=500, seed=0)
+        engine = Engine(trace, MachineConfig.hpca05_baseline())
+        stats = engine.run()
+        assert stats.wall_seconds > 0
+        assert stats.sim_kips > 0
+        assert "wall_seconds" not in stats.to_dict()

@@ -51,8 +51,8 @@ class TestHierarchyProperties:
     def test_completion_never_before_access(self, accesses):
         h = MemoryHierarchy(mem_latency=500)
         for addr, now in accesses:
-            result = h.load(addr, 0x100, now)
-            assert result.complete_time >= now
+            complete, _level = h.load(addr, 0x100, now)
+            assert complete >= now
 
     @given(st.lists(addresses, min_size=2, max_size=50))
     @settings(max_examples=30, deadline=None)
