@@ -4,14 +4,25 @@
 Runs the fixed Table 1 bench points from :mod:`repro.harness.bench`,
 prints a comparison table (vs the recorded pre-optimization engine and
 vs the committed previous run), and rewrites the JSON record at the
-repository root.  Non-gating: this script always exits 0 on a completed
-run — regressions are surfaced as numbers for a human to judge, since
-wall-clock on shared CI machines is too noisy for a hard threshold.
+repository root.  Non-gating by default: the script exits 0 on a
+completed run — regressions are surfaced as numbers for a human to
+judge, since wall-clock on shared CI machines is too noisy for a hard
+threshold.  ``--assert-within PCT`` opts into gating: exit 1 if any
+point's throughput fell more than PCT percent below the committed
+record (the observability PR uses this to hold the disabled-tracer
+overhead to the noise floor).
+
+``--trace-out FILE`` additionally runs one fully observed (tracer +
+metrics) simulation of the MTVP point and exports a Chrome trace — CI
+uploads it as an artifact, and its stats digest is cross-checked against
+the untraced run's to prove instrumentation stayed read-only.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py
     PYTHONPATH=src python benchmarks/bench_throughput.py --quick --no-write
+    PYTHONPATH=src python benchmarks/bench_throughput.py \
+        --no-write --assert-within 10 --trace-out trace.json
 """
 
 from __future__ import annotations
@@ -24,13 +35,42 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.harness.bench import (  # noqa: E402  (path bootstrap above)
+    TABLE1_POINTS,
     format_bench,
     load_bench,
     run_bench,
+    trace_point,
     write_bench,
 )
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+
+def check_regression(results: dict, previous: dict | None, within_pct: float) -> int:
+    """Exit code 1 if any point regressed more than ``within_pct`` percent.
+
+    Points are matched by name against the committed record; lengths must
+    match too (rates at different lengths are not comparable).
+    """
+    if not previous:
+        print("no previous record to gate against; skipping assertion")
+        return 0
+    prev_points = {p["name"]: p for p in previous.get("points", [])}
+    failed = False
+    for p in results["points"]:
+        prev = prev_points.get(p["name"])
+        if not prev or prev.get("length") != p["length"] or not prev.get("ips"):
+            continue
+        drop_pct = 100.0 * (1.0 - p["ips"] / prev["ips"])
+        status = "FAIL" if drop_pct > within_pct else "ok"
+        print(
+            f"assert-within {within_pct:.0f}%: {p['name']} "
+            f"{p['ips']:.0f} vs {prev['ips']:.0f} ips "
+            f"({-drop_pct:+.1f}%) {status}"
+        )
+        if drop_pct > within_pct:
+            failed = True
+    return 1 if failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -57,6 +97,16 @@ def main(argv: list[str] | None = None) -> int:
         "--no-write", action="store_true",
         help="print the table but leave the JSON record untouched",
     )
+    parser.add_argument(
+        "--assert-within", type=float, default=None, metavar="PCT",
+        help="exit 1 if any point's throughput is more than PCT%% below "
+             "the committed record (same-length points only)",
+    )
+    parser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="FILE",
+        help="also run one observed MTVP simulation and export a Chrome "
+             "trace to FILE, cross-checking its stats digest",
+    )
     args = parser.parse_args(argv)
     if args.quick:
         args.repeats = 1
@@ -65,11 +115,32 @@ def main(argv: list[str] | None = None) -> int:
     previous = load_bench(args.output)
     results = run_bench(repeats=args.repeats, length=args.length)
     print(format_bench(results, previous))
-    if args.no_write:
-        return 0
-    write_bench(results, args.output)
-    print(f"wrote {args.output}")
-    return 0
+
+    exit_code = 0
+    if args.assert_within is not None:
+        exit_code = check_regression(results, previous, args.assert_within)
+
+    if args.trace_out is not None:
+        mtvp_point = TABLE1_POINTS[-1]
+        traced = trace_point(mtvp_point, args.trace_out, length=args.length)
+        summary = traced["trace"]
+        print(
+            f"traced {mtvp_point.name}: {summary['retained']} events across "
+            f"{summary['threads']} context lanes -> {args.trace_out}"
+        )
+        untraced = next(
+            p for p in results["points"] if p["name"] == mtvp_point.name
+        )
+        if traced["stats_digest"] != untraced["stats_digest"]:
+            print("FAIL: traced run's stats digest differs from untraced run")
+            exit_code = 1
+        else:
+            print("traced stats digest matches untraced run (read-only probe)")
+
+    if not args.no_write:
+        write_bench(results, args.output)
+        print(f"wrote {args.output}")
+    return exit_code
 
 
 if __name__ == "__main__":

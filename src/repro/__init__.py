@@ -77,6 +77,8 @@ def simulate(
     selector: LoadSelector | None = None,
     length: int | None = None,
     seed: int = 0,
+    tracer=None,
+    metrics=None,
 ) -> SimStats:
     """Run one simulation and return its statistics.
 
@@ -89,6 +91,10 @@ def simulate(
         length: Trace length when a workload is given (defaults to the
             workload's own ``default_length``).
         seed: Dynamic-stream seed when a workload is given.
+        tracer: Optional :class:`repro.obs.Tracer` collecting cycle-stamped
+            events; export with its ``export_chrome``/``export_jsonl``.
+        metrics: Optional :class:`repro.obs.MetricsRegistry`; results land
+            in ``stats.extended``.
 
     Returns:
         The populated :class:`SimStats` for the run.
@@ -104,7 +110,7 @@ def simulate(
         trace = list(workload_or_trace)
     engine = Engine(
         trace, config, predictor=predictor, selector=selector,
-        warm_addresses=warm_addresses,
+        warm_addresses=warm_addresses, tracer=tracer, metrics=metrics,
     )
     return engine.run()
 

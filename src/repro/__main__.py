@@ -3,9 +3,16 @@
 Subcommands:
 
 * ``workloads`` — list the modeled SPEC CPU2000 suite,
-* ``run`` — simulate one workload on one machine and print the stats,
+* ``run`` — simulate one workload on one machine and print the stats
+  (``--trace`` additionally exports a Chrome/JSONL event trace),
+* ``report`` — occupancy/speculation summary of an observed run (served
+  from the result cache when the same run was reported before),
 * ``experiment`` — regenerate a paper artifact (table/figure),
 * ``trace`` — write a workload's instruction trace to a binary file.
+
+Predictor/selector choices come straight from the component registries
+(:data:`repro.vp.REGISTRY`, :data:`repro.select.REGISTRY`), so a predictor
+registered there is immediately drivable from the command line.
 """
 
 from __future__ import annotations
@@ -13,30 +20,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import (
-    DfcmPredictor,
-    IlpCommitSelector,
-    IlpPredSelector,
-    MachineConfig,
-    MissOracleSelector,
-    OraclePredictor,
-    WangFranklinPredictor,
-    simulate,
-)
-from repro.select import AlwaysSelector
+from repro import MachineConfig, select, vp
 from repro.workloads import get_workload, workload_names
 
-PREDICTORS = {
-    "oracle": OraclePredictor,
-    "wang-franklin": WangFranklinPredictor,
-    "dfcm": DfcmPredictor,
-}
-SELECTORS = {
-    "ilp-pred": IlpPredSelector,
-    "ilp-commit": IlpCommitSelector,
-    "miss-oracle": MissOracleSelector,
-    "always": AlwaysSelector,
-}
 MACHINES = {
     "baseline": lambda threads: MachineConfig.hpca05_baseline(),
     "stvp": lambda threads: MachineConfig.stvp(),
@@ -54,18 +40,34 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _session_for(args: argparse.Namespace, **overrides):
+    """A :class:`~repro.harness.Session` bound to the common run flags."""
+    from repro.harness import Session
+
+    length = args.length or get_workload(args.workload).spec.default_length
+    return Session(
+        config=MACHINES[args.machine](args.threads),
+        predictor=args.predictor,
+        selector=args.selector,
+        length=length,
+        seed=args.seed,
+        name=args.machine,
+        **overrides,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = MACHINES[args.machine](args.threads)
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    session = _session_for(
+        args, tracer=tracer, observe=tracer is not None, cache=False
+    )
 
     def run():
-        return simulate(
-            args.workload,
-            config,
-            predictor=PREDICTORS[args.predictor](),
-            selector=SELECTORS[args.selector](),
-            length=args.length,
-            seed=args.seed,
-        )
+        return session.run(args.workload)
 
     if args.profile:
         import cProfile
@@ -77,9 +79,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
         stats = run()
     print(f"{args.workload} on {args.machine} ({args.threads} threads)")
     print(stats.summary())
+    if tracer is not None:
+        if args.trace_format == "jsonl":
+            tracer.export_jsonl(args.trace)
+        else:
+            tracer.export_chrome(args.trace)
+        summary = tracer.summary()
+        print(
+            f"wrote {summary['retained']} events "
+            f"({summary['dropped']} dropped, {summary['threads']} context "
+            f"lanes) to {args.trace} [{args.trace_format}]"
+        )
     if args.profile:
         print(f"wrote cProfile data to {args.profile} "
               f"(inspect with: python -m pstats {args.profile})")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness import ResultCache, default_cache_dir
+    from repro.obs import format_metrics
+
+    if args.no_cache:
+        cache = False
+    else:
+        try:
+            cache = ResultCache(args.cache_dir or default_cache_dir())
+        except OSError as exc:
+            print(f"cannot use cache directory: {exc}")
+            return 1
+    session = _session_for(args, observe=True, cache=cache)
+    stats = session.run(args.workload)
+    print(f"{args.workload} on {args.machine} ({args.threads} threads), "
+          f"{session.length} instructions")
+    print()
+    print(format_metrics(stats.extended))
     return 0
 
 
@@ -134,15 +168,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     p.add_argument("--machine", choices=sorted(MACHINES), default="mtvp")
     p.add_argument("--threads", type=int, default=8)
-    p.add_argument("--predictor", choices=sorted(PREDICTORS), default="wang-franklin")
-    p.add_argument("--selector", choices=sorted(SELECTORS), default="ilp-pred")
+    p.add_argument("--predictor", choices=sorted(vp.names()), default="wang-franklin")
+    p.add_argument("--selector", choices=sorted(select.names()), default="ilp-pred")
     p.add_argument("--length", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record cycle-stamped events and export them to FILE "
+             "(view chrome format at chrome://tracing or ui.perfetto.dev)",
+    )
+    p.add_argument(
+        "--trace-format", choices=["chrome", "jsonl"], default="chrome",
+        help="trace export format (default: chrome)",
+    )
     p.add_argument(
         "--profile", default=None, metavar="FILE",
         help="profile the simulation with cProfile and dump stats to FILE",
     )
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "report",
+        help="print occupancy/speculation metrics for a run "
+             "(cached: repeating the command reuses the stored result)",
+    )
+    p.add_argument("workload")
+    p.add_argument("--machine", choices=sorted(MACHINES), default="mtvp")
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--predictor", choices=sorted(vp.names()), default="wang-franklin")
+    p.add_argument("--selector", choices=sorted(select.names()), default="ilp-pred")
+    p.add_argument("--length", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute instead of consulting the result cache",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("id")

@@ -12,6 +12,8 @@ own history while sharing the prediction tables.
 
 from __future__ import annotations
 
+from repro.obs import NULL_PROBE
+
 #: Number of global-history bits threaded through the predictors.
 HISTORY_BITS = 16
 _HISTORY_MASK = (1 << HISTORY_BITS) - 1
@@ -24,6 +26,11 @@ def update_history(history: int, taken: bool) -> int:
 
 class BranchPredictor:
     """Protocol base class; also usable as a static always-taken stub."""
+
+    #: observability hook (see :mod:`repro.obs.probe`): a class attribute
+    #: so every predictor inherits the null object for free; the engine
+    #: sets an instance attribute when observability is requested
+    obs = NULL_PROBE
 
     def predict(self, pc: int, history: int) -> bool:
         """Return the predicted direction for the branch at ``pc``."""
@@ -200,6 +207,8 @@ class TwoBcGskewPredictor(BranchPredictor):
         if majority != bim:
             self._meta.train(i0, majority == taken)
         if prediction != taken:
+            if self.obs.enabled:
+                self.obs.branch_mispredict(pc)
             self._bim.train(pc2, taken)
             self._g0.train(i1, taken)
             self._g1.train(i2, taken)

@@ -28,6 +28,7 @@ from repro.core.context import ThreadContext
 from repro.core.stats import SimStats
 from repro.isa import EXEC_LATENCY, Instruction, OpClass
 from repro.memory import Cache, MemLevel, MemoryHierarchy, StoreBuffer, StridePrefetcher
+from repro.obs import MetricsRegistry, Probe, Tracer
 from repro.select import AlwaysSelector, LoadSelector, PredictionKind
 from repro.vp import ValuePredictor
 from repro.vp.oracle import OraclePredictor
@@ -47,6 +48,7 @@ _QUEUE_OF = tuple(
     "mem" if op.is_memory else ("fp" if op.is_fp else "int") for op in OpClass
 )
 _EXEC_LAT = tuple(EXEC_LATENCY[op] for op in OpClass)
+_OP_NAMES = tuple(op.name.lower() for op in OpClass)
 _KIND = (PredictionKind.NONE, PredictionKind.STVP, PredictionKind.MTVP)
 _KIND_NONE = PredictionKind.NONE
 _ML_L1 = MemLevel.L1
@@ -106,6 +108,12 @@ class Engine:
             incremental one.  Results must be identical; tests compare the
             two.  The reference path additionally records
             ``max_runnable_observed``.
+        tracer: Optional :class:`~repro.obs.Tracer`; when given, the run
+            emits structured cycle-stamped events into it.
+        metrics: Optional :class:`~repro.obs.MetricsRegistry`; when given,
+            occupancy/speculation metrics land in ``stats.extended``.
+            Instrumentation is strictly read-only: an instrumented run
+            produces bit-identical :class:`SimStats` counters.
     """
 
     def __init__(
@@ -116,6 +124,8 @@ class Engine:
         selector: LoadSelector | None = None,
         warm_addresses=None,
         reference_scheduler: bool = False,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not trace:
             raise ValueError("trace must not be empty")
@@ -208,6 +218,22 @@ class Engine:
 
         root = ThreadContext(slot=0, order=self._alloc_order(), pos=0)
         self._contexts[0] = root
+
+        #: live observability probe, or None.  The hot loop tests this one
+        #: attribute per instruction; components carry the NULL_PROBE when
+        #: no probe is attached, so the disabled path costs a single
+        #: attribute read at every hook site.
+        self._obs: Probe | None = None
+        if tracer is not None or metrics is not None:
+            obs = self._obs = Probe(tracer=tracer, metrics=metrics)
+            self.hierarchy.obs = obs
+            if prefetcher is not None:
+                prefetcher.obs = obs
+            self.branch_predictor.obs = obs
+            self.predictor.obs = obs
+            obs.register_thread(root.order, "ctx0")
+            obs.context_count(0, 1)
+
         if config.warm_caches:
             self._warm_state(warm_addresses, root)
 
@@ -299,6 +325,8 @@ class Engine:
         self._close_final()
         self._collect_component_stats()
         stats = self.stats
+        if self._obs is not None:
+            stats.extended = self._obs.finalize(self._finish_time)
         stats.instructions_stepped = self._global_fetched
         stats.wall_seconds = time.perf_counter() - t0
         return stats
@@ -470,6 +498,10 @@ class Engine:
             ctx.sb_paused = True
             self.stats.store_buffer_stalls += 1
             self._sb_waiters.append(ctx)
+            if self._obs is not None:
+                self._obs.sb_stall(
+                    max(ctx.last_fetch, ctx.resume_at), ctx.order, inst.pc
+                )
             return
 
         # --- fetch: gated on stream position, redirects, a ROB slot, a
@@ -499,6 +531,12 @@ class Engine:
                 t = iq_free
         t_fetch = self._fetch_groups[group].acquire(t)
         ctx.last_fetch = t_fetch
+        obs = self._obs
+        if obs is not None:
+            # refresh the clock-free components' stamp before any of them
+            # can fire below (hierarchy, branch predictor, value predictor)
+            obs.now = t_fetch
+            obs.tid = ctx.order
 
         # --- rename/queue, operand ready
         t_ready = t_queue = t_fetch + self._front_latency
@@ -588,6 +626,11 @@ class Engine:
 
         ctx.fetched_count += 1
         self._global_fetched += 1
+        if obs is not None:
+            obs.step(
+                ctx.order, inst.pc, _OP_NAMES[op], t_fetch, t_issue, t_commit,
+                len(rob), len(iq_heap), self.store_buffer.total,
+            )
         if t_fetch >= ctx.measures_min_end:
             self._finalize_measures(ctx, t_fetch)
         ctx.pos += 1
@@ -636,6 +679,10 @@ class Engine:
                     )
                 return t_complete, None
             # spawn-only: the child waits for the real value (no VP)
+            if self._obs is not None:
+                self._obs.predict(
+                    t_queue, ctx.order, inst.pc, "spawn", inst.value or 0
+                )
             record = self._spawn(
                 ctx, inst, [(inst.value or 0, t_complete)], t_queue, t_complete,
                 SimMode.SPAWN_ONLY,
@@ -678,6 +725,11 @@ class Engine:
             stats.stvp_predictions += 1
             correct = prediction.value == inst.value
             predictor.record_outcome(correct)
+            if self._obs is not None:
+                self._obs.predict(
+                    t_queue, ctx.order, inst.pc, "stvp", prediction.value
+                )
+                self._obs.stvp_outcome(t_complete, ctx.order, inst.pc, correct)
             self._defer_measure(ctx, inst.pc, PredictionKind.STVP, t_queue, t_complete)
             if correct:
                 stats.stvp_correct += 1
@@ -696,6 +748,8 @@ class Engine:
         else:
             values.append((prediction.value, spawn_ready))
         stats.mtvp_predictions += 1
+        if self._obs is not None:
+            self._obs.predict(t_queue, ctx.order, inst.pc, "mtvp", prediction.value)
         record = self._spawn(ctx, inst, values, t_queue, t_complete, SimMode.MTVP)
         return t_complete, record
 
@@ -745,6 +799,11 @@ class Engine:
         parent.spawn_record_as_parent = record
         heappush(self._pending, (t_complete, self._heap_seq, record))
         self._heap_seq += 1
+        obs = self._obs
+        if obs is not None:
+            for child, value in record.children:
+                obs.spawn(t_queue, parent.order, child.order, inst.pc, value)
+            obs.context_count(t_queue, len(self._alive_contexts()))
         return record
 
     # ------------------------------------------------------------------
@@ -756,6 +815,10 @@ class Engine:
             return
         parent = record.parent
         stats = self.stats
+        obs = self._obs
+        if obs is not None:
+            obs.now = resolve_time
+            obs.tid = parent.order
 
         winner: ThreadContext | None = None
         winner_value = 0
@@ -791,6 +854,9 @@ class Engine:
             parent.within_commits += parent.beyond_commits
             parent.beyond_commits = 0
             parent.arch_limit = None
+            if obs is not None:
+                obs.squash(resolve_time, parent.order, record.pc)
+                obs.context_count(resolve_time, len(self._alive_contexts()))
             return
 
         # confirmation: the parent retires, the winner carries on
@@ -811,6 +877,13 @@ class Engine:
             if other is not winner and other.alive:
                 self._kill_subtree(other, resolve_time)
         self._retire_parent(parent, winner, record, resolve_time)
+        if obs is not None:
+            obs.join(
+                resolve_time, winner.order, parent.order, record.pc,
+                max(0, self._global_fetched - record.start_global),
+                max(1, resolve_time - record.start_time),
+            )
+            obs.context_count(resolve_time, len(self._alive_contexts()))
         _ = winner_value
 
     def _retire_parent(
@@ -883,6 +956,8 @@ class Engine:
             ctx.spawn_record_as_parent = None
         self.stats.kills += 1
         self.stats.wasted_instructions += ctx.within_commits + ctx.beyond_commits
+        if self._obs is not None:
+            self._obs.kill(now, ctx.order, ctx.within_commits + ctx.beyond_commits)
         self.store_buffer.squash_thread(ctx.order)
         self._flush_measures(ctx, drop=True)
         ctx.alive = False

@@ -6,6 +6,13 @@ import dataclasses
 
 from repro.memory import MemLevel
 
+#: serialization schema emitted by :meth:`SimStats.to_dict` alongside the
+#: ``extended`` section.  Version 1 is the implicit original layout (no
+#: marker); version 2 added ``extended``.  The marker only appears when
+#: ``extended`` is non-empty, so version-1 consumers and stored fixtures
+#: (caches, golden files) see byte-identical output for ordinary runs.
+SCHEMA_VERSION = 2
+
 
 @dataclasses.dataclass
 class SimStats:
@@ -58,6 +65,11 @@ class SimStats:
     #: host wall-clock seconds spent inside Engine.run(); volatile (machine-
     #: dependent), so it is excluded from equality and from to_dict()
     wall_seconds: float = dataclasses.field(default=0.0, compare=False)
+    #: observability payload from :mod:`repro.obs` (counters, cycle-weighted
+    #: histograms, trace summary); empty for uninstrumented runs.  Excluded
+    #: from equality so an instrumented run compares equal to its
+    #: uninstrumented twin — instrumentation is read-only by contract.
+    extended: dict = dataclasses.field(default_factory=dict, compare=False)
 
     # ------------------------------------------------------------------
     @property
@@ -121,6 +133,12 @@ class SimStats:
         """
         out = dataclasses.asdict(self)
         del out["wall_seconds"]
+        if out["extended"]:
+            out["schema_version"] = SCHEMA_VERSION
+        else:
+            # ordinary runs serialize exactly as schema 1 did, keeping old
+            # cache entries and golden fixtures comparable byte for byte
+            del out["extended"]
         out["level_counts"] = {
             level.name.lower(): count for level, count in self.level_counts.items()
         }

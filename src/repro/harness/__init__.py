@@ -14,6 +14,7 @@ from repro.harness.bench import (
     load_bench,
     run_bench,
     run_point,
+    trace_point,
     write_bench,
 )
 from repro.harness.export import (
@@ -26,7 +27,14 @@ from repro.harness.export import (
 from repro.harness.cache import ResultCache, default_cache_dir, task_key
 from repro.harness.metrics import geomean_speedup, percent_speedup
 from repro.harness.parallel import run_simulations
-from repro.harness.runner import ModeResult, RunSpec, compare_modes, run_once
+from repro.harness.runner import (
+    ModeResult,
+    RunSpec,
+    compare_modes,
+    run_once,
+    run_simulation,
+)
+from repro.harness.session import ConfigFactory, Session
 from repro.harness.experiments import (
     EXPERIMENTS,
     ExperimentResult,
@@ -46,8 +54,10 @@ from repro.harness.experiments import (
 
 __all__ = [
     "BenchPoint",
+    "ConfigFactory",
     "EXPERIMENTS",
     "ExperimentResult",
+    "Session",
     "TABLE1_POINTS",
     "ablation_memory_latency",
     "ModeResult",
@@ -73,7 +83,9 @@ __all__ = [
     "run_bench",
     "run_once",
     "run_point",
+    "run_simulation",
     "run_simulations",
+    "trace_point",
     "sec4_prefetcher_ablation",
     "task_key",
     "sec51_selectors",

@@ -27,10 +27,11 @@ import json
 from pathlib import Path
 from typing import Callable
 
+from repro import select, vp
 from repro.core import MachineConfig, SimStats
 from repro.core.engine import Engine
-from repro.select import AlwaysSelector, IlpPredSelector, LoadSelector
-from repro.vp import ValuePredictor, WangFranklinPredictor
+from repro.select import LoadSelector
+from repro.vp import ValuePredictor
 from repro.workloads import get_workload
 
 #: instructions/second measured at the pre-optimization engine (commit
@@ -50,6 +51,8 @@ class BenchPoint:
 
     Factories, not instances: predictor/selector state must be fresh for
     every repeat, exactly as in :class:`~repro.harness.runner.RunSpec`.
+    Predictor/selector accept registry names or factory callables; they
+    are resolved at run time (the dataclass is frozen).
     """
 
     name: str
@@ -57,8 +60,23 @@ class BenchPoint:
     workload: str
     length: int
     seed: int
-    predictor_factory: Callable[[], ValuePredictor] = WangFranklinPredictor
-    selector_factory: Callable[[], LoadSelector] = IlpPredSelector
+    predictor_factory: Callable[[], ValuePredictor] | str = "wang-franklin"
+    selector_factory: Callable[[], LoadSelector] | str = "ilp-pred"
+
+    def build(self, tracer=None, metrics=None, trace: list | None = None) -> Engine:
+        """A fresh engine for this point (trace defaults to regenerating)."""
+        if trace is None:
+            trace = get_workload(self.workload).trace(
+                length=self.length, seed=self.seed
+            )
+        return Engine(
+            trace,
+            self.config_factory(),
+            predictor=vp.resolve(self.predictor_factory)(),
+            selector=select.resolve(self.selector_factory)(),
+            tracer=tracer,
+            metrics=metrics,
+        )
 
 
 def _mtvp8() -> MachineConfig:
@@ -82,15 +100,22 @@ TABLE1_POINTS = (
         workload="mcf",
         length=12000,
         seed=0,
-        selector_factory=AlwaysSelector,
+        selector_factory="always",
     ),
 )
 
 
 def stats_digest(stats: SimStats) -> str:
-    """SHA-256 of the canonical JSON stats dict, minus volatile fields."""
+    """SHA-256 of the canonical JSON stats dict, minus volatile fields.
+
+    ``extended``/``schema_version`` are excluded too: instrumentation is
+    read-only by contract, so a traced run must digest identically to its
+    untraced twin (the golden tests assert exactly that).
+    """
     data = stats.to_dict()
     data.pop("instructions_stepped", None)
+    data.pop("extended", None)
+    data.pop("schema_version", None)
     blob = json.dumps(data, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -107,13 +132,7 @@ def run_point(point: BenchPoint, repeats: int = 3, length: int | None = None) ->
     best_ips = 0.0
     best_stats: SimStats | None = None
     for _ in range(max(1, repeats)):
-        engine = Engine(
-            trace,
-            point.config_factory(),
-            predictor=point.predictor_factory(),
-            selector=point.selector_factory(),
-        )
-        stats = engine.run()
+        stats = point.build(trace=trace).run()
         if stats.wall_seconds <= 0.0:
             continue
         ips = stats.instructions_stepped / stats.wall_seconds
@@ -137,6 +156,38 @@ def run_point(point: BenchPoint, repeats: int = 3, length: int | None = None) ->
         record["pre_opt_ips"] = reference
         record["speedup_vs_pre_opt"] = round(best_ips / reference, 2)
     return record
+
+
+def trace_point(
+    point: BenchPoint,
+    path: str | Path,
+    fmt: str = "chrome",
+    length: int | None = None,
+) -> dict:
+    """One fully observed run of ``point``; exports the trace to ``path``.
+
+    Used by CI to prove the tracer stack works end to end on every build.
+    Returns a small summary record (digest + tracer summary) so callers
+    can cross-check against the untraced digest from :func:`run_point`.
+    """
+    from repro.obs import MetricsRegistry, Tracer
+
+    n = length or point.length
+    trace = get_workload(point.workload).trace(length=n, seed=point.seed)
+    tracer = Tracer()
+    stats = point.build(trace=trace, tracer=tracer, metrics=MetricsRegistry()).run()
+    if fmt == "chrome":
+        tracer.export_chrome(path)
+    elif fmt == "jsonl":
+        tracer.export_jsonl(path)
+    else:
+        raise ValueError(f"unknown trace format {fmt!r} (chrome or jsonl)")
+    return {
+        "name": point.name,
+        "length": n,
+        "stats_digest": stats_digest(stats),
+        "trace": tracer.summary(),
+    }
 
 
 def run_bench(

@@ -130,6 +130,10 @@ def task_key(workload_name: str, spec, length: int, seed: int) -> str | None:
         "seed": seed,
         "code": code_version(),
     }
+    if getattr(spec, "observe", False):
+        # observed runs carry extended metrics in their stats; keying them
+        # separately keeps plain runs serving plain (smaller) entries
+        payload["observe"] = True
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 

@@ -11,13 +11,12 @@ import dataclasses
 import functools
 from typing import Callable
 
+from repro import select, vp
 from repro.core import FetchPolicy, MachineConfig
 from repro.harness.metrics import geomean_speedup
 from repro.harness.parallel import run_simulations
 from repro.harness.runner import DEFAULT_LENGTH, ModeResult, RunSpec, compare_modes
-from repro.select import AlwaysSelector, IlpPredSelector, MissOracleSelector
 from repro.memory import MemLevel
-from repro.vp import DfcmPredictor, WangFranklinPredictor
 from repro.workloads import SPEC_FP, SPEC_INT, get_workload
 
 
@@ -87,15 +86,12 @@ def _speedup_rows(
 ALL = SPEC_INT + SPEC_FP
 
 
-def _liberal_wf() -> WangFranklinPredictor:
-    """The "more liberal predictor" of Section 5.6: a softer threshold and
-    penalty keep a secondary candidate over threshold without opening the
-    door to junk predictions on unpredictable loads.
-
-    Module-level (not a closure) so multi-value runs stay picklable for
-    the process pool and stably hashable for the result cache.
-    """
-    return WangFranklinPredictor(threshold=8, penalty=4)
+#: the "more liberal predictor" of Section 5.6: a softer threshold and
+#: penalty keep a secondary candidate over threshold without opening the
+#: door to junk predictions on unpredictable loads.  A registry factory is
+#: a ``functools.partial`` over the class, so multi-value runs stay
+#: picklable for the process pool and stably hashable for the result cache.
+_liberal_wf = vp.factory("wang-franklin", threshold=8, penalty=4)
 
 
 # ----------------------------------------------------------------------
@@ -223,13 +219,13 @@ def fig3_realistic_wf(
     """
     specs = [
         RunSpec("stvp", functools.partial(MachineConfig.stvp),
-                predictor_factory=WangFranklinPredictor),
+                predictor_factory="wang-franklin"),
         RunSpec("mtvp2", functools.partial(MachineConfig.mtvp, 2),
-                predictor_factory=WangFranklinPredictor),
+                predictor_factory="wang-franklin"),
         RunSpec("mtvp4", functools.partial(MachineConfig.mtvp, 4),
-                predictor_factory=WangFranklinPredictor),
+                predictor_factory="wang-franklin"),
         RunSpec("mtvp8", functools.partial(MachineConfig.mtvp, 8),
-                predictor_factory=WangFranklinPredictor),
+                predictor_factory="wang-franklin"),
     ]
     results = compare_modes(ALL, specs, length=length, jobs=jobs, cache=cache)
     mode_names = [s.name for s in specs]
@@ -253,15 +249,15 @@ def fig4_fetch_policy(
     """Figure 4: letting the parent keep fetching is counterproductive."""
     specs = [
         RunSpec("stvp", functools.partial(MachineConfig.stvp),
-                predictor_factory=WangFranklinPredictor),
+                predictor_factory="wang-franklin"),
         RunSpec("mtvp sfp", functools.partial(MachineConfig.mtvp, 8),
-                predictor_factory=WangFranklinPredictor),
+                predictor_factory="wang-franklin"),
         RunSpec(
             "mtvp no stall",
             functools.partial(
                 MachineConfig.mtvp, 8, fetch_policy=FetchPolicy.NO_STALL
             ),
-            predictor_factory=WangFranklinPredictor,
+            predictor_factory="wang-franklin",
         ),
     ]
     results = compare_modes(ALL, specs, length=length, jobs=jobs, cache=cache)
@@ -288,8 +284,8 @@ def fig5_multivalue_potential(
     spec = RunSpec(
         "mtvp8 mv",
         functools.partial(MachineConfig.mtvp, 8, collect_multivalue=True),
-        predictor_factory=WangFranklinPredictor,
-        selector_factory=IlpPredSelector,
+        predictor_factory="wang-franklin",
+        selector_factory="ilp-pred",
     )
     n = length or DEFAULT_LENGTH
     all_stats = run_simulations(
@@ -330,15 +326,13 @@ def sec56_multivalue(
     specs = [
         RunSpec("base", MachineConfig.hpca05_baseline),
         RunSpec("single", functools.partial(MachineConfig.mtvp, 8),
-                predictor_factory=WangFranklinPredictor,
-                selector_factory=IlpPredSelector),
+                predictor_factory="wang-franklin",
+                selector_factory="ilp-pred"),
         RunSpec(
             "multi",
             functools.partial(MachineConfig.mtvp, 8, multi_value=2),
             predictor_factory=_liberal_wf,
-            selector_factory=functools.partial(
-                MissOracleSelector, mtvp_level=MemLevel.L3
-            ),
+            selector_factory=select.factory("miss-oracle", mtvp_level=MemLevel.L3),
         ),
     ]
     tasks = [(name, spec, n, 0) for name in names for spec in specs]
@@ -376,7 +370,7 @@ def fig6_wide_window(
     specs = [
         RunSpec("wide window", MachineConfig.wide_window),
         RunSpec("best mtvp", functools.partial(MachineConfig.mtvp, 8),
-                predictor_factory=WangFranklinPredictor),
+                predictor_factory="wang-franklin"),
         RunSpec("spawn only", functools.partial(MachineConfig.spawn_only, 8)),
     ]
     results = compare_modes(ALL, specs, length=length, jobs=jobs, cache=cache)
@@ -408,9 +402,9 @@ def sec54_dfcm_vs_wf(
     correct and incorrect, and ends up behind the W-F hybrid under MTVP."""
     specs = [
         RunSpec("mtvp8 wf", functools.partial(MachineConfig.mtvp, 8),
-                predictor_factory=WangFranklinPredictor),
+                predictor_factory="wang-franklin"),
         RunSpec("mtvp8 dfcm", functools.partial(MachineConfig.mtvp, 8),
-                predictor_factory=DfcmPredictor),
+                predictor_factory="dfcm"),
     ]
     results = compare_modes(ALL, specs, length=length, jobs=jobs, cache=cache)
     mode_names = [s.name for s in specs]
@@ -444,11 +438,11 @@ def sec51_selectors(
     with (on average better than) the unimplementable cache-miss oracle."""
     specs = [
         RunSpec("mtvp8 ilp-pred", functools.partial(MachineConfig.mtvp, 8),
-                selector_factory=IlpPredSelector),
+                selector_factory="ilp-pred"),
         RunSpec("mtvp8 miss-oracle", functools.partial(MachineConfig.mtvp, 8),
-                selector_factory=MissOracleSelector),
+                selector_factory="miss-oracle"),
         RunSpec("mtvp8 always", functools.partial(MachineConfig.mtvp, 8),
-                selector_factory=AlwaysSelector),
+                selector_factory="always"),
     ]
     results = compare_modes(ALL, specs, length=length, jobs=jobs, cache=cache)
     rows: list[dict] = []

@@ -6,11 +6,11 @@ import dataclasses
 import os
 from typing import Callable
 
-from repro import simulate
+from repro import select, simulate, vp
 from repro.core import MachineConfig, SimStats
 from repro.harness.metrics import percent_speedup
-from repro.select import IlpPredSelector, LoadSelector
-from repro.vp import OraclePredictor, ValuePredictor
+from repro.select import LoadSelector
+from repro.vp import ValuePredictor
 from repro.workloads import get_workload
 
 #: default dynamic trace length for experiments; override with the
@@ -23,16 +23,40 @@ class RunSpec:
     """One named machine configuration plus its predictor/selector recipe.
 
     Factories (not instances) are required because predictor and selector
-    state must be fresh for every simulation.
+    state must be fresh for every simulation.  The predictor and selector
+    accept registry names (``"wang-franklin"``, ``"ilp-pred"``, ...; see
+    :data:`repro.vp.REGISTRY` / :data:`repro.select.REGISTRY`) as well as
+    explicit factory callables — names are resolved once at construction.
+
+    ``observe=True`` attaches a fresh
+    :class:`~repro.obs.MetricsRegistry` to every run so the resulting
+    stats carry ``extended`` occupancy/speculation metrics; it is part of
+    the cache identity, so observed and plain results never alias.
     """
 
     name: str
     config_factory: Callable[[], MachineConfig]
-    predictor_factory: Callable[[], ValuePredictor] = OraclePredictor
-    selector_factory: Callable[[], LoadSelector] = IlpPredSelector
+    predictor_factory: Callable[[], ValuePredictor] | str = "oracle"
+    selector_factory: Callable[[], LoadSelector] | str = "ilp-pred"
+    observe: bool = False
 
-    def run(self, workload_name: str, length: int, seed: int = 0) -> SimStats:
+    def __post_init__(self) -> None:
+        self.predictor_factory = vp.resolve(self.predictor_factory)
+        self.selector_factory = select.resolve(self.selector_factory)
+
+    def run(
+        self,
+        workload_name: str,
+        length: int,
+        seed: int = 0,
+        tracer=None,
+        metrics=None,
+    ) -> SimStats:
         """Simulate this configuration on one workload."""
+        if metrics is None and self.observe:
+            from repro.obs import MetricsRegistry
+
+            metrics = MetricsRegistry()
         return simulate(
             get_workload(workload_name),
             self.config_factory(),
@@ -40,6 +64,8 @@ class RunSpec:
             selector=self.selector_factory(),
             length=length,
             seed=seed,
+            tracer=tracer,
+            metrics=metrics,
         )
 
 
@@ -65,9 +91,27 @@ def run_once(
     spec: RunSpec,
     length: int | None = None,
     seed: int = 0,
+    tracer=None,
+    metrics=None,
 ) -> SimStats:
     """Convenience wrapper: one workload through one run spec."""
-    return spec.run(workload_name, length or DEFAULT_LENGTH, seed)
+    return spec.run(
+        workload_name, length or DEFAULT_LENGTH, seed, tracer=tracer, metrics=metrics
+    )
+
+
+def run_simulation(
+    workload_name: str,
+    spec: RunSpec,
+    length: int | None = None,
+    seed: int = 0,
+) -> SimStats:
+    """Deprecated alias for :func:`run_once`.
+
+    Kept so older scripts keep importing; new code should go through
+    :class:`repro.harness.Session`.
+    """
+    return run_once(workload_name, spec, length=length, seed=seed)
 
 
 def compare_modes(

@@ -25,6 +25,8 @@ one buffer instead of thrashing the pool.
 
 from __future__ import annotations
 
+from repro.obs import NULL_PROBE
+
 
 class StreamBuffer:
     """One stream buffer: prefetched lines with fill times.
@@ -93,6 +95,8 @@ class StridePrefetcher:
         self.allocations = 0
         self.stream_hits = 0
         self.mistrains = 0
+        #: observability hook (see :mod:`repro.obs.probe`)
+        self.obs = NULL_PROBE
 
     # ------------------------------------------------------------------
     # demand lookup
@@ -112,6 +116,8 @@ class StridePrefetcher:
             sb.last_use = now
             self._extend(sb, now)
             self.stream_hits += 1
+            if self.obs.enabled:
+                self.obs.prefetch_hit(now, line)
             return max(now + self.hit_latency, fill_time)
         return None
 
@@ -136,11 +142,15 @@ class StridePrefetcher:
                 stale = [ln for ln in sb.entries if ln > horizon]
             for line in stale:
                 del sb.entries[line]
+        issued = 0
         while len(sb.entries) < self.depth:
             line = sb.next_line
             sb.next_line += sb.stride_lines
             if line not in sb.entries:
                 sb.entries[line] = now + self.fill_latency
+                issued += 1
+        if issued and self.obs.enabled:
+            self.obs.prefetch_issue(now, sb.tag, issued)
 
     def _covered(self, line: int) -> bool:
         """True when some buffer already holds or is about to reach ``line``."""

@@ -1,0 +1,57 @@
+"""The trace-event taxonomy (DESIGN.md §5d).
+
+Every event is a plain ``(cycle, kind, tid, args)`` tuple:
+
+* ``cycle`` — simulated cycle the event is stamped with,
+* ``kind`` — an :class:`EventKind` member (stored as its int value),
+* ``tid`` — the *spawn order* of the hardware context involved; spawn
+  order is stable for the lifetime of a context (slot numbers are
+  recycled, orders are not), so it doubles as the thread id in exports,
+* ``args`` — a small dict of event-specific fields, or ``None``.
+
+Tuples, not objects: the tracer may hold tens of thousands of events and
+the emitting side runs inside the simulation loop when tracing is on.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class EventKind(enum.IntEnum):
+    """What happened.  Values are stable; exports use :data:`EVENT_NAMES`."""
+
+    #: one instruction's pipeline transit; args carry the ``fetch``,
+    #: ``issue`` and ``commit`` (retire) timestamps plus ``pc`` and ``op``
+    INSTRUCTION = 0
+    #: a load satisfied below the L1; args: ``pc``, ``addr``, ``level``,
+    #: ``complete`` (fill completion cycle)
+    LOAD_MISS = 1
+    #: a value prediction was acted on; args: ``pc``, ``kind``
+    #: ("stvp"/"mtvp"/"spawn_only"), ``value`` (predicted)
+    PREDICT = 2
+    #: a used prediction resolved correct; args: ``pc`` (may be absent
+    #: when emitted from inside a predictor)
+    PRED_VERIFIED = 3
+    #: a used prediction resolved wrong and squashed dependents/threads
+    PRED_SQUASH = 4
+    #: a speculative context was created; args: ``child`` (tid), ``pc``,
+    #: ``value`` (the followed prediction)
+    SPAWN = 5
+    #: a confirmed child absorbed its retiring parent; args: ``parent``
+    JOIN = 6
+    #: a context (and its subtree root) was killed; args: ``wasted``
+    KILL = 7
+    #: a speculative store stalled on a full store buffer; args: ``pc``
+    SB_STALL = 8
+    #: a stream buffer issued prefetches; args: ``lines`` (how many),
+    #: ``tag`` (stream tag)
+    PREFETCH_ISSUE = 9
+    #: a demand load hit a stream buffer; args: ``line``
+    PREFETCH_HIT = 10
+    #: the branch predictor mispredicted; args: ``pc``
+    BRANCH_MISPREDICT = 11
+
+
+#: export names, indexable by ``EventKind`` value
+EVENT_NAMES = tuple(k.name.lower() for k in EventKind)

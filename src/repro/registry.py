@@ -1,0 +1,84 @@
+"""String-keyed component registries.
+
+Experiments, the CLI, benchmarks and the result cache all need to name a
+value predictor or load selector; before this module each of them kept its
+own name->class dict (and the cache a parallel describe-function).  A
+:class:`Registry` gives every component family one canonical spelling:
+
+* ``create(name, **kw)`` — construct an instance now,
+* ``factory(name, **kw)`` — return a *picklable, cache-describable*
+  factory (the class itself, or a :func:`functools.partial` over it),
+* ``resolve(spec, **kw)`` — accept a registered name *or* an existing
+  factory callable, so APIs can take either form in one argument.
+
+Factories rather than instances travel through the run pipeline because a
+simulation must construct fresh predictor state per run (worker processes
+pickle the factory, and the result cache serializes its class + keywords).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable
+
+
+class Registry:
+    """An immutable name -> component-class mapping for one family."""
+
+    def __init__(self, kind: str, entries: dict[str, type]) -> None:
+        self.kind = kind
+        self._entries = dict(entries)
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names, in registration (presentation) order."""
+        return tuple(self._entries)
+
+    def get(self, name: str) -> type:
+        """The class registered under ``name``."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self._entries)
+            raise KeyError(
+                f"unknown {self.kind} {name!r} (registered: {known})"
+            ) from None
+
+    def create(self, name: str, **kwargs: Any) -> Any:
+        """Construct a fresh instance of the named component."""
+        return self.get(name)(**kwargs)
+
+    def factory(self, name: str, **kwargs: Any) -> Callable[[], Any]:
+        """A zero-argument factory for the named component.
+
+        Returns the class itself when no keywords are given (the form the
+        result cache describes most compactly) and a
+        :func:`functools.partial` otherwise; both pickle cleanly for the
+        process pool and serialize via ``cache.describe_factory``.
+        """
+        cls = self.get(name)
+        if not kwargs:
+            return cls
+        return functools.partial(cls, **kwargs)
+
+    def resolve(
+        self, spec: str | Callable[[], Any], **kwargs: Any
+    ) -> Callable[[], Any]:
+        """Turn a name-or-factory into a factory.
+
+        Strings go through :meth:`factory`; callables pass straight
+        through (keywords are rejected there — the caller already built
+        the factory it wanted).
+        """
+        if isinstance(spec, str):
+            return self.factory(spec, **kwargs)
+        if kwargs:
+            raise TypeError(
+                f"keyword overrides only apply to registered names, "
+                f"not to a ready-made {self.kind} factory"
+            )
+        if not callable(spec):
+            raise TypeError(
+                f"{self.kind} spec must be a registered name or a "
+                f"factory callable, got {type(spec).__name__}"
+            )
+        return spec

@@ -13,6 +13,7 @@ predicting, and in which mode.  The paper studies:
 * (an "always" selector is provided as the no-policy baseline.)
 """
 
+from repro.registry import Registry
 from repro.select.selectors import (
     AlwaysSelector,
     IlpCommitSelector,
@@ -22,6 +23,22 @@ from repro.select.selectors import (
     PredictionKind,
 )
 
+#: canonical name -> class registry; ``repro.select.create("ilp-pred")``.
+REGISTRY = Registry(
+    "load selector",
+    {
+        "always": AlwaysSelector,
+        "ilp-pred": IlpPredSelector,
+        "ilp-commit": IlpCommitSelector,
+        "miss-oracle": MissOracleSelector,
+    },
+)
+names = REGISTRY.names
+get = REGISTRY.get
+create = REGISTRY.create
+factory = REGISTRY.factory
+resolve = REGISTRY.resolve
+
 __all__ = [
     "AlwaysSelector",
     "IlpCommitSelector",
@@ -29,4 +46,10 @@ __all__ = [
     "LoadSelector",
     "MissOracleSelector",
     "PredictionKind",
+    "REGISTRY",
+    "create",
+    "factory",
+    "get",
+    "names",
+    "resolve",
 ]

@@ -15,18 +15,42 @@ Simple last-value and stride predictors are provided both as components and
 as baselines for tests.
 """
 
+from repro.registry import Registry
 from repro.vp.base import ValuePrediction, ValuePredictor
 from repro.vp.dfcm import DfcmPredictor
 from repro.vp.oracle import OraclePredictor
 from repro.vp.simple import LastValuePredictor, StridePredictor
 from repro.vp.wang_franklin import WangFranklinPredictor
 
+#: canonical name -> class registry; ``repro.vp.create("dfcm")`` et al.
+REGISTRY = Registry(
+    "value predictor",
+    {
+        "oracle": OraclePredictor,
+        "wang-franklin": WangFranklinPredictor,
+        "dfcm": DfcmPredictor,
+        "last-value": LastValuePredictor,
+        "stride": StridePredictor,
+    },
+)
+names = REGISTRY.names
+get = REGISTRY.get
+create = REGISTRY.create
+factory = REGISTRY.factory
+resolve = REGISTRY.resolve
+
 __all__ = [
     "DfcmPredictor",
     "LastValuePredictor",
     "OraclePredictor",
+    "REGISTRY",
     "StridePredictor",
     "ValuePrediction",
     "ValuePredictor",
     "WangFranklinPredictor",
+    "create",
+    "factory",
+    "get",
+    "names",
+    "resolve",
 ]

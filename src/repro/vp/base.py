@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.isa import Instruction
+from repro.obs import NULL_PROBE
 
 
 class ValuePrediction:
@@ -42,6 +43,9 @@ class ValuePredictor:
         self.predictions = 0
         self.correct = 0
         self.incorrect = 0
+        #: observability hook (see :mod:`repro.obs.probe`); the engine
+        #: replaces the null object when a tracer/metrics run is requested
+        self.obs = NULL_PROBE
 
     # ------------------------------------------------------------------
     def predict(self, inst: Instruction) -> ValuePrediction | None:
@@ -78,6 +82,8 @@ class ValuePredictor:
             self.correct += 1
         else:
             self.incorrect += 1
+        if self.obs.enabled:
+            self.obs.vp_outcome(was_correct)
 
     @property
     def accuracy(self) -> float:
