@@ -8,6 +8,10 @@ Subcommands:
 * ``report`` — occupancy/speculation summary of an observed run (served
   from the result cache when the same run was reported before),
 * ``experiment`` — regenerate a paper artifact (table/figure),
+* ``sweep`` — run/status/report/resume a declarative design-space
+  exploration campaign (a TOML/JSON spec under ``sweeps/``; results
+  persist in SQLite, so interrupted campaigns resume where they stopped),
+* ``cache`` — maintain the on-disk result cache (``prune``),
 * ``trace`` — write a workload's instruction trace to a binary file.
 
 Predictor/selector choices come straight from the component registries
@@ -143,6 +147,126 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_cli_cache(args: argparse.Namespace):
+    """The ``--no-cache``/``--cache-dir`` convention shared by subcommands."""
+    from repro.harness import ResultCache, default_cache_dir
+
+    if getattr(args, "no_cache", False):
+        return False
+    return ResultCache(args.cache_dir or default_cache_dir())
+
+
+def _sweep_spec_and_store(args: argparse.Namespace):
+    from repro.sweep import ResultStore, default_db_path, load_spec
+
+    spec = load_spec(args.spec)
+    if getattr(args, "seeds", None):
+        spec.seeds = tuple(range(args.seeds))
+    if getattr(args, "length", None):
+        spec.lengths = (args.length,)
+    store = ResultStore(args.db or default_db_path(args.spec))
+    return spec, store
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    from repro.sweep import run_sweep
+
+    spec, store = _sweep_spec_and_store(args)
+    with store:
+        summary = run_sweep(
+            spec,
+            store,
+            jobs=args.jobs,
+            cache=_resolve_cli_cache(args),
+            retries=args.retries,
+            max_points=args.points,
+            echo=print,
+        )
+    return 0 if summary.done else 1
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    spec, store = _sweep_spec_and_store(args)
+    with store:
+        counts = store.counts(spec.name)
+        total = sum(counts.values())
+        if not total:
+            print(f"sweep {spec.name}: no rows recorded yet "
+                  f"(run: python -m repro sweep run {args.spec})")
+            return 1
+        print(f"sweep {spec.name} ({store.path}): {total} rows")
+        for status, n in counts.items():
+            if n:
+                print(f"  {status:8s} {n}")
+        for row in store.rows(spec.name):
+            if row["status"] == "failed":
+                print(f"  failed: {row['workload']} seed {row['seed']} "
+                      f"[{row['params']}] after {row['attempts']} attempt(s): "
+                      f"{row['error']}")
+    return 0
+
+
+def _cmd_sweep_report(args: argparse.Namespace) -> int:
+    from repro.harness.export import result_to_csv, result_to_json
+    from repro.sweep import (
+        aggregate,
+        export_jsonl,
+        format_markdown,
+        full_report,
+        sweep_result,
+    )
+
+    spec, store = _sweep_spec_and_store(args)
+    with store:
+        rows = store.rows(spec.name)
+        if not rows:
+            print(f"sweep {spec.name}: no results to report")
+            return 1
+        aggregates = aggregate(rows)
+        result = sweep_result(spec.name, aggregates)
+        if args.markdown:
+            print(format_markdown(result), end="")
+        else:
+            print(full_report(spec.name, aggregates))
+        if args.json:
+            result_to_json(result, args.json)
+            print(f"wrote {args.json}")
+        if args.csv:
+            result_to_csv(result, args.csv)
+            print(f"wrote {args.csv}")
+        if args.jsonl:
+            export_jsonl(aggregates, args.jsonl)
+            print(f"wrote {args.jsonl}")
+    return 0
+
+
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    from repro.harness import ResultCache, default_cache_dir
+
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.max_bytes is None and args.max_age_days is None:
+        print("nothing to do: pass --max-bytes and/or --max-age-days")
+        return 1
+    removed = cache.prune(
+        max_bytes=_parse_size(args.max_bytes) if args.max_bytes else None,
+        max_age_days=args.max_age_days,
+    )
+    print(f"pruned {removed} entries from {cache.directory} "
+          f"({len(cache)} remaining)")
+    return 0
+
+
+def _parse_size(text: str) -> int:
+    """``500``, ``500K``, ``64M``, ``2G`` -> bytes."""
+    text = text.strip().upper()
+    factor = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}.get(text[-1:], 1)
+    digits = text[:-1] if factor != 1 else text
+    try:
+        return int(digits) * factor
+    except ValueError:
+        raise SystemExit(f"invalid size {text!r} (use e.g. 500K, 64M, 2G)")
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.workloads.io import save_trace
 
@@ -230,6 +354,93 @@ def build_parser() -> argparse.ArgumentParser:
              "~/.cache/repro)",
     )
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "sweep",
+        help="declarative design-space exploration (specs under sweeps/)",
+    )
+    ssub = p.add_subparsers(dest="sweep_command", required=True)
+
+    def _sweep_common(sp, with_db=True):
+        sp.add_argument("spec", help="sweep spec file (.toml or .json)")
+        if with_db:
+            sp.add_argument(
+                "--db", default=None,
+                help="results database (default: <spec>.db next to the spec)",
+            )
+        sp.add_argument(
+            "--seeds", type=int, default=None, metavar="N",
+            help="override the spec's seed replicates with seeds 0..N-1",
+        )
+        sp.add_argument(
+            "--length", type=int, default=None,
+            help="override the spec's trace lengths",
+        )
+
+    for verb, extra_help in (
+        ("run", "run a campaign (skips rows already done in the store)"),
+        ("resume", "alias of run: finish an interrupted campaign "
+                   "(a complete campaign is a no-op)"),
+    ):
+        sp = ssub.add_parser(verb, help=extra_help)
+        _sweep_common(sp)
+        sp.add_argument(
+            "--points", type=int, default=None, metavar="N",
+            help="limit the campaign to the first N design points",
+        )
+        sp.add_argument(
+            "--retries", type=int, default=None, metavar="N",
+            help="extra attempts per failed row (default: the spec's)",
+        )
+        sp.add_argument(
+            "--jobs", type=int, default=None,
+            help="worker processes (0 = all cores; default: $REPRO_JOBS)",
+        )
+        sp.add_argument("--no-cache", action="store_true",
+                        help="recompute instead of using the result cache")
+        sp.add_argument(
+            "--cache-dir", default=None,
+            help="result cache directory (default: $REPRO_CACHE_DIR or "
+                 "~/.cache/repro)",
+        )
+        sp.set_defaults(func=_cmd_sweep_run)
+
+    sp = ssub.add_parser("status", help="row counts and failures of a campaign")
+    _sweep_common(sp)
+    sp.set_defaults(func=_cmd_sweep_status)
+
+    sp = ssub.add_parser(
+        "report",
+        help="per-point statistics (bootstrap CIs), axis marginals, Pareto",
+    )
+    _sweep_common(sp)
+    sp.add_argument("--markdown", action="store_true",
+                    help="emit a markdown table instead of ASCII")
+    sp.add_argument("--json", default=None, help="also write JSON to this path")
+    sp.add_argument("--csv", default=None, help="also write CSV to this path")
+    sp.add_argument("--jsonl", default=None,
+                    help="also write one JSON object per point to this path")
+    sp.set_defaults(func=_cmd_sweep_report)
+
+    p = sub.add_parser("cache", help="maintain the on-disk result cache")
+    csub = p.add_subparsers(dest="cache_command", required=True)
+    sp = csub.add_parser(
+        "prune", help="evict old cache entries (LRU by mtime)"
+    )
+    sp.add_argument(
+        "--max-bytes", default=None, metavar="SIZE",
+        help="shrink the cache to at most SIZE (suffixes K/M/G)",
+    )
+    sp.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="drop entries older than DAYS",
+    )
+    sp.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    sp.set_defaults(func=_cmd_cache_prune)
 
     p = sub.add_parser("trace", help="write a workload trace to a binary file")
     p.add_argument("workload")

@@ -26,11 +26,12 @@ from repro.harness.export import (
 )
 from repro.harness.cache import ResultCache, default_cache_dir, task_key
 from repro.harness.metrics import geomean_speedup, percent_speedup
-from repro.harness.parallel import run_simulations
+from repro.harness.parallel import SimulationError, run_simulations
 from repro.harness.runner import (
     ModeResult,
     RunSpec,
     compare_modes,
+    default_length,
     run_once,
     run_simulation,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
     "Session",
+    "SimulationError",
     "TABLE1_POINTS",
     "ablation_memory_latency",
     "ModeResult",
@@ -65,6 +67,7 @@ __all__ = [
     "RunSpec",
     "compare_modes",
     "default_cache_dir",
+    "default_length",
     "fig1_oracle_potential",
     "fig2_spawn_latency",
     "fig3_realistic_wf",

@@ -33,6 +33,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from repro.core import SimStats
@@ -183,6 +184,62 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+
+    def prune(
+        self,
+        max_bytes: int | None = None,
+        max_age_days: float | None = None,
+        now: float | None = None,
+    ) -> int:
+        """Evict old entries; returns how many files were removed.
+
+        Entries older than ``max_age_days`` (by mtime) go first; then, if
+        the directory still exceeds ``max_bytes``, the least recently
+        touched survivors are evicted until it fits (LRU by mtime —
+        :meth:`get` does not bump mtimes, so recency here means recency of
+        *storage*, which is the right order for campaign-style usage where
+        whole sweeps age out together).  ``now`` is a test hook.
+        """
+        if max_bytes is None and max_age_days is None:
+            return 0
+        if now is None:
+            now = time.time()
+        entries = []
+        for path in self.directory.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest first
+        removed = 0
+
+        def evict(path: Path) -> bool:
+            nonlocal removed
+            try:
+                path.unlink()
+            except OSError:
+                return False
+            removed += 1
+            return True
+
+        if max_age_days is not None:
+            cutoff = now - max_age_days * 86400.0
+            keep = []
+            for mtime, size, path in entries:
+                if mtime < cutoff:
+                    evict(path)
+                else:
+                    keep.append((mtime, size, path))
+            entries = keep
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in entries)
+            for mtime, size, path in entries:  # oldest first
+                if total <= max_bytes:
+                    break
+                if evict(path):
+                    total -= size
+        return removed
 
     def clear(self) -> int:
         """Delete every cached entry; returns how many were removed."""

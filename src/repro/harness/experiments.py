@@ -15,7 +15,7 @@ from repro import select, vp
 from repro.core import FetchPolicy, MachineConfig
 from repro.harness.metrics import geomean_speedup
 from repro.harness.parallel import run_simulations
-from repro.harness.runner import DEFAULT_LENGTH, ModeResult, RunSpec, compare_modes
+from repro.harness.runner import ModeResult, RunSpec, compare_modes, default_length
 from repro.memory import MemLevel
 from repro.workloads import SPEC_FP, SPEC_INT, get_workload
 
@@ -287,7 +287,7 @@ def fig5_multivalue_potential(
         predictor_factory="wang-franklin",
         selector_factory="ilp-pred",
     )
-    n = length or DEFAULT_LENGTH
+    n = length or default_length()
     all_stats = run_simulations(
         [(name, spec, n, 0) for name in ALL], jobs=jobs, cache=cache
     )
@@ -322,7 +322,7 @@ def sec56_multivalue(
     """Section 5.6: a liberal predictor + L3-miss oracle selector make
     multiple-value MTVP profitable on swim and parser."""
     names = ("swim", "parser")
-    n = length or DEFAULT_LENGTH
+    n = length or default_length()
     specs = [
         RunSpec("base", MachineConfig.hpca05_baseline),
         RunSpec("single", functools.partial(MachineConfig.mtvp, 8),

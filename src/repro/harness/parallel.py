@@ -32,6 +32,35 @@ from repro.harness.cache import ResultCache, task_key
 Task = tuple  # (str, RunSpec, int, int)
 
 
+class SimulationError(RuntimeError):
+    """One task of a batch failed; carries the failing task's identity.
+
+    ``run_simulations`` raises this (``on_error="raise"``, the default)
+    or returns it in the failing task's result slot (``on_error=
+    "collect"``) so batch drivers — most prominently the sweep runner —
+    can record the failure and keep the rest of the campaign alive.
+    """
+
+    def __init__(
+        self,
+        workload: str,
+        spec_name: str,
+        length: int,
+        seed: int,
+        cause: BaseException | str,
+    ) -> None:
+        self.workload = workload
+        self.spec_name = spec_name
+        self.length = length
+        self.seed = seed
+        self.cause = cause
+        detail = cause if isinstance(cause, str) else f"{type(cause).__name__}: {cause}"
+        super().__init__(
+            f"simulation failed (workload={workload!r}, spec={spec_name!r}, "
+            f"length={length}, seed={seed}): {detail}"
+        )
+
+
 def _run_task(spec, workload_name: str, length: int, seed: int) -> SimStats:
     """Worker entry point: one spec on one workload (must stay picklable)."""
     return spec.run(workload_name, length, seed)
@@ -46,7 +75,12 @@ def resolve_jobs(jobs: int | None) -> int:
         env = os.environ.get("REPRO_JOBS", "").strip()
         if not env:
             return 1
-        jobs = int(env)
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer worker count, got {env!r}"
+            ) from None
     if jobs <= 0:
         return os.cpu_count() or 1
     return jobs
@@ -75,6 +109,7 @@ def run_simulations(
     tasks: list[Task],
     jobs: int | None = None,
     cache=None,
+    on_error: str = "raise",
 ) -> list[SimStats]:
     """Run every task, in parallel when ``jobs > 1``, consulting the cache.
 
@@ -82,25 +117,51 @@ def run_simulations(
         tasks: ``(workload_name, spec, length, seed)`` tuples.
         jobs: Worker processes (see :func:`resolve_jobs`).
         cache: Result cache (see :func:`resolve_cache`).
+        on_error: ``"raise"`` (default) wraps the first task failure in a
+            :class:`SimulationError` identifying the failing task and
+            aborts the batch; ``"collect"`` instead places the
+            :class:`SimulationError` in that task's result slot and keeps
+            the remaining tasks running — the sweep runner's degraded mode.
 
     Returns:
-        One :class:`SimStats` per task, in task order.  Results are
-        independent of ``jobs`` and of cache hits/misses.
+        One :class:`SimStats` per task, in task order (or a
+        :class:`SimulationError` per failed task under ``"collect"``).
+        Results are independent of ``jobs`` and of cache hits/misses.
     """
+    if on_error not in ("raise", "collect"):
+        raise ValueError(f'on_error must be "raise" or "collect", not {on_error!r}')
     cache_obj = resolve_cache(cache)
     n_jobs = resolve_jobs(jobs)
 
-    results: list[SimStats | None] = [None] * len(tasks)
+    results: list[SimStats | SimulationError | None] = [None] * len(tasks)
     keys: list[str | None] = [None] * len(tasks)
+
+    def fail(indices: list[int], exc: BaseException) -> None:
+        workload_name, spec, length, seed = tasks[indices[0]]
+        error = SimulationError(
+            workload_name, getattr(spec, "name", "?"), length, seed, exc
+        )
+        if on_error == "raise":
+            raise error from exc
+        for i in indices:
+            results[i] = error
+
     #: indices still needing a simulation, grouped so identical tasks
     #: (same key) run once and fan back out to every requesting index
     groups: dict[object, list[int]] = {}
     for i, (workload_name, spec, length, seed) in enumerate(tasks):
-        key = (
-            task_key(workload_name, spec, length, seed)
-            if cache_obj is not None
-            else None
-        )
+        try:
+            key = (
+                task_key(workload_name, spec, length, seed)
+                if cache_obj is not None
+                else None
+            )
+        except Exception as exc:
+            # e.g. an invalid MachineConfig raising inside the factory
+            # while the key is being derived: a per-task failure, not a
+            # batch abort
+            fail([i], exc)
+            continue
         keys[i] = key
         if key is not None:
             hit = cache_obj.get(key)
@@ -129,10 +190,20 @@ def run_simulations(
             while remaining:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
-                    finish(futures[future], future.result())
+                    try:
+                        stats = future.result()
+                    except Exception as exc:
+                        fail(futures[future], exc)
+                    else:
+                        finish(futures[future], stats)
     else:
         for indices in pending:
             workload_name, spec, length, seed = tasks[indices[0]]
-            finish(indices, _run_task(spec, workload_name, length, seed))
+            try:
+                stats = _run_task(spec, workload_name, length, seed)
+            except Exception as exc:
+                fail(indices, exc)
+            else:
+                finish(indices, stats)
 
     return results  # type: ignore[return-value]

@@ -13,9 +13,35 @@ from repro.select import LoadSelector
 from repro.vp import ValuePredictor
 from repro.workloads import get_workload
 
-#: default dynamic trace length for experiments; override with the
-#: REPRO_TRACE_LEN environment variable (benchmarks honour it too)
-DEFAULT_LENGTH = int(os.environ.get("REPRO_TRACE_LEN", "16000"))
+#: built-in dynamic trace length for experiments when ``REPRO_TRACE_LEN``
+#: is unset; resolved lazily by :func:`default_length` so the environment
+#: variable can be set (or monkeypatched) after this module is imported
+_FALLBACK_LENGTH = 16000
+
+
+def default_length() -> int:
+    """The default dynamic trace length, honouring ``$REPRO_TRACE_LEN``.
+
+    Read at call time — not import time — so tests and scripts can adjust
+    the environment whenever they like.
+    """
+    env = os.environ.get("REPRO_TRACE_LEN", "").strip()
+    if not env:
+        return _FALLBACK_LENGTH
+    try:
+        return int(env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_TRACE_LEN must be an integer trace length, got {env!r}"
+        ) from None
+
+
+def __getattr__(name: str):
+    # keep the historical module constant importable without re-freezing
+    # the environment at import time
+    if name == "DEFAULT_LENGTH":
+        return default_length()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclasses.dataclass
@@ -96,7 +122,7 @@ def run_once(
 ) -> SimStats:
     """Convenience wrapper: one workload through one run spec."""
     return spec.run(
-        workload_name, length or DEFAULT_LENGTH, seed, tracer=tracer, metrics=metrics
+        workload_name, length or default_length(), seed, tracer=tracer, metrics=metrics
     )
 
 
@@ -143,7 +169,7 @@ def compare_modes(
     """
     from repro.harness.parallel import run_simulations
 
-    n = length or DEFAULT_LENGTH
+    n = length or default_length()
     base_spec = baseline if baseline is not None else RunSpec(
         "baseline", MachineConfig.hpca05_baseline
     )

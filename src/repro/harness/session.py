@@ -27,7 +27,7 @@ from typing import Callable, Iterable, Sequence
 from repro.core import MachineConfig, SimStats
 from repro.harness.bench import TABLE1_POINTS, BenchPoint, run_bench
 from repro.harness.parallel import run_simulations
-from repro.harness.runner import DEFAULT_LENGTH, ModeResult, RunSpec, compare_modes
+from repro.harness.runner import ModeResult, RunSpec, compare_modes, default_length
 
 
 class ConfigFactory:
@@ -105,7 +105,7 @@ class Session:
         self.config_factory = _as_config_factory(config)
         self.predictor = predictor
         self.selector = selector
-        self.length = length or DEFAULT_LENGTH
+        self.length = length or default_length()
         self.seed = seed
         self.jobs = jobs
         self.cache = cache

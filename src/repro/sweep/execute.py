@@ -1,0 +1,219 @@
+"""Resumable execution of sweep campaigns.
+
+:func:`run_sweep` drives a :class:`~repro.sweep.spec.SweepSpec` to
+completion against a :class:`~repro.sweep.store.ResultStore`:
+
+1. expand the spec into points, replicate over seeds, pair every
+   ``(workload, length, seed)`` with a baseline (denominator) run, and
+   ``INSERT OR IGNORE`` the rows — done rows from a previous launch keep
+   their results, which is the whole resume story;
+2. ask the store for runnable rows and fan them out through
+   :func:`~repro.harness.parallel.run_simulations` in **chunks**, with
+   ``on_error="collect"`` so one crashing worker marks its row failed
+   instead of killing the pool, committing each chunk's outcomes before
+   starting the next — an interrupt loses at most one chunk of marks (and
+   the :class:`~repro.harness.cache.ResultCache`, when enabled, still
+   remembers even those simulations);
+3. loop until nothing is runnable: failed rows are retried while their
+   attempt budget lasts, then stay ``failed`` — the campaign finishes with
+   a partial-results summary rather than an abort.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.harness.cache import code_version
+from repro.harness.parallel import (
+    SimulationError,
+    resolve_jobs,
+    run_simulations,
+)
+from repro.sweep.spec import SweepSpec, run_spec_for
+from repro.sweep.store import ResultStore
+
+
+def default_db_path(spec_path: str | Path) -> Path:
+    """Where a spec's results live by default: ``<spec>.db`` next to it."""
+    return Path(spec_path).with_suffix(".db")
+
+
+@dataclasses.dataclass
+class CampaignSummary:
+    """Outcome of one :func:`run_sweep` invocation."""
+
+    sweep: str
+    total: int        #: rows this campaign covers (points × seeds + baselines)
+    done: int         #: rows done after this invocation
+    failed: int       #: rows failed with their retry budget exhausted
+    simulated: int    #: tasks dispatched this invocation (0 on a no-op resume)
+    skipped: int      #: rows already done when this invocation started
+    retried: int      #: failed-row retry dispatches among ``simulated``
+
+    @property
+    def complete(self) -> bool:
+        return self.done == self.total
+
+    def format(self) -> str:
+        status = "complete" if self.complete else (
+            f"partial ({self.failed} failed)" if self.failed else "incomplete"
+        )
+        return (
+            f"sweep {self.sweep}: {self.done}/{self.total} rows done, "
+            f"{self.simulated} simulated ({self.retried} retries), "
+            f"{self.skipped} already done — {status}"
+        )
+
+
+def campaign_rows(spec: SweepSpec, max_points: int | None = None) -> list[dict]:
+    """The store rows a spec expands to (points × seeds, plus baselines)."""
+    points = spec.expand()
+    if max_points is not None:
+        points = points[:max_points]
+    rows: list[dict] = []
+    for idx, point in enumerate(points):
+        for seed in spec.seeds:
+            rows.append({
+                "point_id": point.point_id,
+                "seed": seed,
+                "role": "point",
+                "idx": idx,
+                "workload": point.workload,
+                "length": point.length,
+                "params": point.params,
+            })
+    for workload, length in dict.fromkeys((p.workload, p.length) for p in points):
+        base = spec.baseline_point(workload, length)
+        for seed in spec.seeds:
+            rows.append({
+                "point_id": base.point_id,
+                "seed": seed,
+                "role": "baseline",
+                "idx": -1,
+                "workload": workload,
+                "length": length,
+                "params": base.params,
+            })
+    return rows
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store: ResultStore,
+    jobs: int | None = None,
+    cache=None,
+    retries: int | None = None,
+    max_points: int | None = None,
+    chunk: int | None = None,
+    echo=None,
+) -> CampaignSummary:
+    """Run (or resume) a sweep campaign; see the module docstring.
+
+    Args:
+        spec: The campaign description.
+        store: The persistent results store (rows keyed by ``spec.name``).
+        jobs: Worker processes per chunk (see
+            :func:`~repro.harness.parallel.resolve_jobs`).
+        cache: Result cache (see
+            :func:`~repro.harness.parallel.resolve_cache`); strongly
+            recommended for campaigns — it de-duplicates baselines across
+            sweeps and makes interrupted chunks free to recompute.
+        retries: Extra attempts per failed row (default: ``spec.retries``).
+        max_points: Truncate the expansion to its first N points.
+        chunk: Tasks per commit batch (default scales with ``jobs``);
+            smaller chunks tighten the resume granularity.
+        echo: Optional ``print``-like progress callback.
+    """
+    say = echo if echo is not None else (lambda *_: None)
+    if retries is None:
+        retries = spec.retries
+    rows = campaign_rows(spec, max_points)
+    inserted = store.ensure(spec.name, rows)
+    mine = {(r["point_id"], r["seed"]) for r in rows}
+    say(f"{spec.name}: {len(rows)} rows ({inserted} new)")
+
+    if chunk is None:
+        chunk = max(8, 4 * resolve_jobs(jobs))
+
+    simulated = retried = 0
+    initially_done = sum(
+        1
+        for r in store.rows(spec.name)
+        if (r["point_id"], r["seed"]) in mine and r["status"] == "done"
+    )
+
+    while True:
+        todo = [
+            r
+            for r in store.runnable(spec.name, retries)
+            if (r["point_id"], r["seed"]) in mine
+        ]
+        if not todo:
+            break
+        say(f"{spec.name}: {len(todo)} rows to simulate")
+        for start in range(0, len(todo), chunk):
+            batch = todo[start : start + chunk]
+            tasks = []
+            buildable = []
+            for row in batch:
+                key = (row["point_id"], row["seed"])
+                params = json.loads(row["params"])
+                try:
+                    run_spec = run_spec_for(params, name=row["point_id"][:8])
+                except Exception as exc:  # bad recipe (unknown predictor, ...)
+                    store.mark_running(spec.name, [key])
+                    store.mark_failed(
+                        spec.name, key, f"{type(exc).__name__}: {exc}"
+                    )
+                    continue
+                tasks.append((row["workload"], run_spec, row["length"], row["seed"]))
+                buildable.append((key, row, run_spec))
+            if not tasks:
+                continue
+            simulated += len(tasks)
+            retried += sum(1 for _, row, _ in buildable if row["attempts"] > 0)
+            store.mark_running(spec.name, [key for key, _, _ in buildable])
+            outcomes = run_simulations(
+                tasks, jobs=jobs, cache=cache, on_error="collect"
+            )
+            version = code_version()
+            for (key, row, run_spec), outcome in zip(buildable, outcomes):
+                if isinstance(outcome, SimulationError):
+                    store.mark_failed(spec.name, key, str(outcome))
+                    say(f"{spec.name}: FAILED {key[0]} seed {key[1]}: {outcome}")
+                else:
+                    try:
+                        config = dataclasses.asdict(run_spec.config_factory())
+                    except Exception:
+                        config = None
+                    store.mark_done(
+                        spec.name,
+                        key,
+                        outcome.to_dict(),
+                        config=config,
+                        wall_seconds=outcome.wall_seconds,
+                        code_version=version,
+                    )
+
+    final = store.rows(spec.name)
+    done = sum(
+        1 for r in final if (r["point_id"], r["seed"]) in mine and r["status"] == "done"
+    )
+    failed = sum(
+        1
+        for r in final
+        if (r["point_id"], r["seed"]) in mine and r["status"] == "failed"
+    )
+    summary = CampaignSummary(
+        sweep=spec.name,
+        total=len(mine),
+        done=done,
+        failed=failed,
+        simulated=simulated,
+        skipped=initially_done,
+        retried=retried,
+    )
+    say(summary.format())
+    return summary

@@ -1,0 +1,358 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names a design space instead of a single run: axes
+over :class:`~repro.core.MachineConfig` fields, predictor/selector
+registry names, machine presets, workloads, trace lengths — crossed into
+concrete :class:`SweepPoint`\\ s by grid or random expansion, filtered by
+constraint predicates, and replicated over seeds.  Specs are plain data:
+they load from TOML or JSON files (the checked-in campaigns live under
+``sweeps/``) and serialize back to JSON, so a campaign is reviewable,
+diffable and re-runnable long after the session that launched it.
+
+TOML layout (see ``sweeps/store_buffer.toml`` for a real one)::
+
+    [sweep]
+    name = "store_buffer"
+    workloads = ["int"]          # names, or the suite keywords int/fp/all
+    lengths = [8000]
+    seeds = 3                    # replicate count (or an explicit list)
+
+    [base]                       # shared recipe every point starts from
+    machine = "mtvp"
+    threads = 8
+    predictor = "wang-franklin"
+
+    [axes]                       # the crossed design space
+    store_buffer_entries = [16, 64, 256]
+
+Axis and base keys are either the *special* recipe keys (``machine``,
+``threads``, ``predictor``, ``selector``) or literal ``MachineConfig``
+field names; unknown keys are rejected at load time with the valid
+choices listed.  Enum-valued fields (``fetch_policy``, ``mode``) take
+their string values; ``store_buffer_entries = 0`` means unbounded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import itertools
+import json
+import random
+from pathlib import Path
+from typing import Callable
+
+from repro.core import FetchPolicy, MachineConfig, SimMode
+from repro.harness.runner import RunSpec, default_length
+from repro.workloads import SPEC_FP, SPEC_INT, get_workload
+
+
+class SweepSpecError(ValueError):
+    """A sweep specification is malformed."""
+
+
+#: machine presets a spec can name; mirrors the CLI's ``--machine`` choices
+PRESETS: dict[str, Callable[..., MachineConfig]] = {
+    "baseline": MachineConfig.hpca05_baseline,
+    "stvp": MachineConfig.stvp,
+    "mtvp": MachineConfig.mtvp,
+    "cmp": MachineConfig.cmp,
+    "spawn-only": MachineConfig.spawn_only,
+    "wide-window": MachineConfig.wide_window,
+}
+
+#: presets whose first argument is a context/core count
+_THREADED_PRESETS = {"mtvp", "cmp", "spawn-only"}
+
+#: recipe keys that are not MachineConfig overrides
+SPECIAL_KEYS = ("machine", "threads", "predictor", "selector")
+
+_SUITES = {
+    "int": lambda: SPEC_INT,
+    "fp": lambda: SPEC_FP,
+    "all": lambda: SPEC_INT + SPEC_FP,
+}
+
+_CONFIG_FIELDS = {f.name for f in dataclasses.fields(MachineConfig)}
+
+#: enum-typed MachineConfig fields and how to coerce their TOML strings
+_ENUM_FIELDS = {"fetch_policy": FetchPolicy, "mode": SimMode}
+
+
+def _check_keys(keys, where: str) -> None:
+    for key in keys:
+        if key in SPECIAL_KEYS or key in _CONFIG_FIELDS:
+            continue
+        valid = ", ".join(sorted(_CONFIG_FIELDS | set(SPECIAL_KEYS)))
+        raise SweepSpecError(
+            f"unknown {where} key {key!r}; valid keys are the recipe keys "
+            f"({', '.join(SPECIAL_KEYS)}) and MachineConfig fields ({valid})"
+        )
+
+
+def _resolve_workloads(workloads) -> tuple[str, ...]:
+    if isinstance(workloads, str):
+        workloads = [workloads]
+    names: list[str] = []
+    for entry in workloads:
+        if entry in _SUITES:
+            names.extend(_SUITES[entry]())
+        else:
+            get_workload(entry)  # raises KeyError with the known names
+            names.append(entry)
+    if not names:
+        raise SweepSpecError("a sweep needs at least one workload")
+    # de-duplicate preserving order (suite keywords may overlap with names)
+    return tuple(dict.fromkeys(names))
+
+
+def _resolve_seeds(seeds) -> tuple[int, ...]:
+    if isinstance(seeds, int):
+        if seeds < 1:
+            raise SweepSpecError("seeds must be a positive count or a list")
+        return tuple(range(seeds))
+    out = tuple(int(s) for s in seeds)
+    if not out:
+        raise SweepSpecError("a sweep needs at least one seed")
+    return out
+
+
+def point_id(params: dict, workload: str, length: int) -> str:
+    """Stable content hash identifying one design point.
+
+    Identity covers the full resolved recipe — machine params, workload
+    and trace length — but *not* the seed: seeds are replicates of a
+    point, stored as separate rows under the same id.
+    """
+    blob = json.dumps(
+        {"params": params, "workload": workload, "length": length},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One fully-resolved design point (machine recipe × workload × length)."""
+
+    point_id: str
+    workload: str
+    length: int
+    params: dict
+
+    def label(self) -> str:
+        """Compact human-readable tag used in tables and logs."""
+        parts = [f"{k}={v}" for k, v in self.params.items()]
+        return f"{self.workload}@{self.length} " + " ".join(parts)
+
+
+def run_spec_for(params: dict, name: str = "sweep") -> RunSpec:
+    """Build the :class:`RunSpec` a recipe dict describes.
+
+    The returned spec's factories are picklable (process pool) and
+    registry-describable (result cache): the config factory is a
+    ``functools.partial`` over a :class:`MachineConfig` preset
+    classmethod, predictor/selector stay registry names.
+    """
+    machine = params.get("machine", "mtvp")
+    if machine not in PRESETS:
+        raise SweepSpecError(
+            f"unknown machine preset {machine!r} (valid: {', '.join(PRESETS)})"
+        )
+    preset = PRESETS[machine]
+    overrides = {}
+    for key, value in params.items():
+        if key in SPECIAL_KEYS:
+            continue
+        if key in _ENUM_FIELDS and isinstance(value, str):
+            value = _ENUM_FIELDS[key](value)
+        if key == "store_buffer_entries" and value == 0:
+            value = None  # TOML has no null; 0 entries means unbounded
+        overrides[key] = value
+    threads = params.get("threads")
+    if machine in _THREADED_PRESETS:
+        args = (threads,) if threads is not None else ()
+        factory = functools.partial(preset, *args, **overrides)
+    else:
+        if threads is not None:
+            raise SweepSpecError(
+                f"preset {machine!r} is single-context; it takes no 'threads'"
+            )
+        factory = functools.partial(preset, **overrides) if overrides else preset
+    return RunSpec(
+        name,
+        factory,
+        predictor_factory=params.get("predictor", "wang-franklin"),
+        selector_factory=params.get("selector", "ilp-pred"),
+    )
+
+
+def _passes(constraints, context: dict) -> bool:
+    for constraint in constraints:
+        if callable(constraint):
+            ok = constraint(context)
+        else:
+            try:
+                ok = eval(constraint, {"__builtins__": {}}, dict(context))
+            except Exception as exc:
+                raise SweepSpecError(
+                    f"constraint {constraint!r} failed to evaluate: {exc}"
+                ) from None
+        if not ok:
+            return False
+    return True
+
+
+@dataclasses.dataclass
+class SweepSpec:
+    """A declarative design-space exploration campaign.
+
+    Args:
+        name: Campaign name (keys the results store).
+        axes: Mapping of recipe key -> list of values to cross.
+        base: Recipe shared by every point (axes override it).
+        workloads: Workload names and/or suite keywords ``int``/``fp``/``all``.
+        lengths: Trace lengths to cross in; empty uses the harness default.
+        seeds: Replicate count (int) or explicit seed list.
+        mode: ``"grid"`` (full cross product) or ``"random"`` (sampled).
+        samples: Number of points drawn in random mode.
+        sample_seed: RNG seed for random mode (sampling is deterministic).
+        constraints: Predicates over ``params + workload + length``; each
+            is a restricted-eval expression string (the TOML form, e.g.
+            ``"spawn_latency <= 16 or threads == 8"``) or a callable
+            taking the context dict.  Points failing any predicate are
+            dropped before sampling.
+        baseline: Recipe of the speedup denominator machine.
+        retries: Default retry budget for failed points.
+    """
+
+    name: str
+    axes: dict = dataclasses.field(default_factory=dict)
+    base: dict = dataclasses.field(default_factory=dict)
+    workloads: tuple = ("int",)
+    lengths: tuple = ()
+    seeds: tuple = (0, 1, 2)
+    mode: str = "grid"
+    samples: int = 0
+    sample_seed: int = 0
+    constraints: tuple = ()
+    baseline: dict = dataclasses.field(
+        default_factory=lambda: {"machine": "baseline"}
+    )
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SweepSpecError("a sweep needs a name")
+        if self.mode not in ("grid", "random"):
+            raise SweepSpecError(f'mode must be "grid" or "random", not {self.mode!r}')
+        if self.mode == "random" and self.samples < 1:
+            raise SweepSpecError("random mode needs samples >= 1")
+        _check_keys(self.base, "base")
+        _check_keys(self.baseline, "baseline")
+        _check_keys(self.axes, "axis")
+        for key, values in self.axes.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise SweepSpecError(
+                    f"axis {key!r} must be a non-empty list of values"
+                )
+        self.axes = {k: list(v) for k, v in self.axes.items()}
+        self.workloads = _resolve_workloads(self.workloads)
+        self.seeds = _resolve_seeds(self.seeds)
+        self.lengths = tuple(int(n) for n in self.lengths)
+        self.constraints = tuple(self.constraints)
+
+    # ------------------------------------------------------------------
+    def resolved_lengths(self) -> tuple[int, ...]:
+        return self.lengths or (default_length(),)
+
+    def expand(self) -> list[SweepPoint]:
+        """The spec's concrete design points, in deterministic order.
+
+        Grid order is workloads (outer) × lengths × axis cross product
+        (inner, axes in declaration order), so truncating to the first N
+        points (``--points N``) yields N distinct recipes on the first
+        workload.  Random mode draws ``samples`` points (without
+        replacement) from the constraint-filtered grid with
+        ``sample_seed``.
+        """
+        axis_names = list(self.axes)
+        combos = list(itertools.product(*self.axes.values())) or [()]
+        points: list[SweepPoint] = []
+        for workload in self.workloads:
+            for length in self.resolved_lengths():
+                for combo in combos:
+                    params = dict(self.base)
+                    params.update(zip(axis_names, combo))
+                    context = dict(params, workload=workload, length=length)
+                    if not _passes(self.constraints, context):
+                        continue
+                    points.append(
+                        SweepPoint(point_id(params, workload, length),
+                                   workload, length, params)
+                    )
+        if self.mode == "random" and self.samples < len(points):
+            rng = random.Random(self.sample_seed)
+            points = rng.sample(points, self.samples)
+        return points
+
+    def baseline_point(self, workload: str, length: int) -> SweepPoint:
+        """The denominator run paired with every point on ``workload``."""
+        params = dict(self.baseline)
+        return SweepPoint(
+            "base-" + point_id(params, workload, length), workload, length, params
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        out["workloads"] = list(self.workloads)
+        out["lengths"] = list(self.lengths)
+        out["seeds"] = list(self.seeds)
+        out["constraints"] = [
+            c for c in self.constraints if isinstance(c, str)
+        ]
+        return out
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        """Serialize to JSON; optionally also write to ``path``."""
+        text = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(text + "\n")
+        return text
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        """Build a spec from parsed TOML/JSON data.
+
+        Accepts both the flat JSON form of :meth:`to_dict` and the TOML
+        table form (``[sweep]`` holding the campaign fields next to
+        ``[base]``/``[axes]``/``[baseline]``).
+        """
+        data = dict(data)
+        sweep = dict(data.pop("sweep", {}))
+        merged = {**sweep, **data}
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(merged) - known
+        if unknown:
+            raise SweepSpecError(
+                f"unknown sweep field(s) {sorted(unknown)}; valid: {sorted(known)}"
+            )
+        if "name" not in merged:
+            raise SweepSpecError("a sweep spec needs a name ([sweep] name = ...)")
+        return cls(**merged)
+
+
+def load_spec(path: str | Path) -> SweepSpec:
+    """Load a :class:`SweepSpec` from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    if path.suffix == ".toml":
+        import tomllib
+
+        data = tomllib.loads(path.read_text())
+    else:
+        data = json.loads(path.read_text())
+    return SweepSpec.from_dict(data)

@@ -1,0 +1,204 @@
+"""Persistent SQLite results store backing sweep campaigns.
+
+One row per ``(sweep, point_id, seed)`` — the full resolved recipe, the
+resolved :class:`~repro.core.MachineConfig`, the
+:class:`~repro.core.SimStats` digest, a status
+(``pending``/``running``/``done``/``failed``), the attempt count, wall
+time and code version.  The store is what makes campaigns *resumable*:
+re-launching an interrupted sweep re-inserts its rows with ``INSERT OR
+IGNORE`` (done rows keep their results), asks :meth:`ResultStore.runnable`
+for what is left, and simulates only that.
+
+A single database file can hold many sweeps (rows are keyed by sweep
+name); the default location is ``<spec>.db`` next to the spec file, so a
+campaign and its results travel together.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from pathlib import Path
+
+#: the legal row states, in lifecycle order
+STATUSES = ("pending", "running", "done", "failed")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    sweep        TEXT    NOT NULL,
+    point_id     TEXT    NOT NULL,
+    seed         INTEGER NOT NULL,
+    role         TEXT    NOT NULL DEFAULT 'point',
+    idx          INTEGER NOT NULL DEFAULT 0,
+    workload     TEXT    NOT NULL,
+    length       INTEGER NOT NULL,
+    params       TEXT    NOT NULL,
+    config       TEXT,
+    status       TEXT    NOT NULL DEFAULT 'pending',
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    stats        TEXT,
+    error        TEXT,
+    wall_seconds REAL    NOT NULL DEFAULT 0.0,
+    code_version TEXT,
+    updated_at   REAL    NOT NULL DEFAULT 0.0,
+    PRIMARY KEY (sweep, point_id, seed)
+);
+CREATE INDEX IF NOT EXISTS idx_results_status ON results (sweep, status);
+"""
+
+
+class ResultStore:
+    """A sweep results database (see the module docstring for the model)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._db = sqlite3.connect(self.path)
+        self._db.row_factory = sqlite3.Row
+        self._db.executescript(_SCHEMA)
+        self._db.commit()
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def ensure(self, sweep: str, rows: list[dict]) -> int:
+        """Insert missing rows as ``pending``; existing rows are untouched.
+
+        Each row dict needs ``point_id``, ``seed``, ``workload``,
+        ``length``, ``params`` (a JSON-serializable recipe) and optionally
+        ``role``/``idx``.  Returns how many rows were newly inserted.
+        """
+        before = self._db.total_changes
+        self._db.executemany(
+            "INSERT OR IGNORE INTO results "
+            "(sweep, point_id, seed, role, idx, workload, length, params,"
+            " status, updated_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, 'pending', ?)",
+            [
+                (
+                    sweep,
+                    row["point_id"],
+                    row["seed"],
+                    row.get("role", "point"),
+                    row.get("idx", 0),
+                    row["workload"],
+                    row["length"],
+                    json.dumps(row["params"], sort_keys=True, default=str),
+                    time.time(),
+                )
+                for row in rows
+            ],
+        )
+        self._db.commit()
+        return self._db.total_changes - before
+
+    def runnable(self, sweep: str, retries: int = 0) -> list[sqlite3.Row]:
+        """Rows still owed a simulation, in campaign (idx, seed) order.
+
+        ``pending`` rows, ``running`` rows (stale claims from a crashed
+        process) and ``failed`` rows with retry budget left (``attempts <=
+        retries``, i.e. ``retries`` extra attempts after the first
+        failure).
+        """
+        return self._db.execute(
+            "SELECT * FROM results WHERE sweep = ? AND "
+            "(status IN ('pending', 'running') "
+            " OR (status = 'failed' AND attempts <= ?)) "
+            "ORDER BY idx, point_id, seed",
+            (sweep, retries),
+        ).fetchall()
+
+    def mark_running(self, sweep: str, keys: list[tuple[str, int]]) -> None:
+        """Claim rows for this attempt (increments their attempt count)."""
+        self._db.executemany(
+            "UPDATE results SET status = 'running', attempts = attempts + 1, "
+            "updated_at = ? WHERE sweep = ? AND point_id = ? AND seed = ?",
+            [(time.time(), sweep, pid, seed) for pid, seed in keys],
+        )
+        self._db.commit()
+
+    def mark_done(
+        self,
+        sweep: str,
+        key: tuple[str, int],
+        stats: dict,
+        config: dict | None = None,
+        wall_seconds: float = 0.0,
+        code_version: str | None = None,
+    ) -> None:
+        """Record a completed simulation's stats digest."""
+        self._db.execute(
+            "UPDATE results SET status = 'done', stats = ?, config = ?, "
+            "error = NULL, wall_seconds = ?, code_version = ?, updated_at = ? "
+            "WHERE sweep = ? AND point_id = ? AND seed = ?",
+            (
+                json.dumps(stats, sort_keys=True),
+                json.dumps(config, sort_keys=True, default=str) if config else None,
+                wall_seconds,
+                code_version,
+                time.time(),
+                sweep,
+                key[0],
+                key[1],
+            ),
+        )
+        self._db.commit()
+
+    def mark_failed(self, sweep: str, key: tuple[str, int], error: str) -> None:
+        """Record a failed attempt (the exception text, truncated sanely)."""
+        self._db.execute(
+            "UPDATE results SET status = 'failed', error = ?, updated_at = ? "
+            "WHERE sweep = ? AND point_id = ? AND seed = ?",
+            (error[:2000], time.time(), sweep, key[0], key[1]),
+        )
+        self._db.commit()
+
+    # ------------------------------------------------------------------
+    def rows(self, sweep: str, role: str | None = None) -> list[sqlite3.Row]:
+        """Every row of a sweep (optionally one role), in campaign order."""
+        if role is None:
+            return self._db.execute(
+                "SELECT * FROM results WHERE sweep = ? "
+                "ORDER BY idx, point_id, seed",
+                (sweep,),
+            ).fetchall()
+        return self._db.execute(
+            "SELECT * FROM results WHERE sweep = ? AND role = ? "
+            "ORDER BY idx, point_id, seed",
+            (sweep, role),
+        ).fetchall()
+
+    def counts(self, sweep: str) -> dict[str, int]:
+        """Row count per status (every status present, zeros included)."""
+        out = {status: 0 for status in STATUSES}
+        for status, n in self._db.execute(
+            "SELECT status, COUNT(*) FROM results WHERE sweep = ? GROUP BY status",
+            (sweep,),
+        ):
+            out[status] = n
+        return out
+
+    def sweeps(self) -> list[str]:
+        """Names of every sweep stored in this database."""
+        return [
+            name
+            for (name,) in self._db.execute(
+                "SELECT DISTINCT sweep FROM results ORDER BY sweep"
+            )
+        ]
+
+    def __len__(self) -> int:
+        (n,) = self._db.execute("SELECT COUNT(*) FROM results").fetchone()
+        return n
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.path)!r}, rows={len(self)})"

@@ -1,11 +1,19 @@
 """Tests for the parallel fan-out and the on-disk result cache."""
 
 import functools
+import os
 
 import pytest
 
 from repro.core import MachineConfig, SimStats
-from repro.harness import RunSpec, ResultCache, compare_modes, run_simulations, task_key
+from repro.harness import (
+    RunSpec,
+    ResultCache,
+    SimulationError,
+    compare_modes,
+    run_simulations,
+    task_key,
+)
 from repro.harness.cache import describe_factory
 from repro.harness.parallel import resolve_cache, resolve_jobs
 from repro.vp import OraclePredictor, WangFranklinPredictor
@@ -155,6 +163,132 @@ class TestRunSimulations:
                 got = results[mode]
                 assert [r.ipc for r in got] == [r.ipc for r in rows]
                 assert [r.stats for r in got] == [r.stats for r in rows]
+
+
+def bad_spec():
+    """A spec whose config factory raises at construction time."""
+    return RunSpec(
+        "bad", functools.partial(MachineConfig.mtvp, 2, spawn_latency=-1)
+    )
+
+
+class TestErrorHandling:
+    def test_raise_mode_wraps_with_task_identity(self):
+        batch = [("crafty", bad_spec(), LENGTH, 7)]
+        with pytest.raises(SimulationError) as excinfo:
+            run_simulations(batch, jobs=1, cache=False)
+        err = excinfo.value
+        assert (err.workload, err.spec_name, err.length, err.seed) == (
+            "crafty", "bad", LENGTH, 7
+        )
+        assert "spawn_latency" in str(err)
+
+    def test_collect_mode_keeps_the_batch_alive(self):
+        batch = tasks() + [("crafty", bad_spec(), LENGTH, 0)]
+        results = run_simulations(batch, jobs=1, cache=False, on_error="collect")
+        assert all(isinstance(s, SimStats) for s in results[:-1])
+        assert isinstance(results[-1], SimulationError)
+        # good results are identical to an all-good batch's
+        clean = run_simulations(tasks(), jobs=1, cache=False)
+        assert [s.to_dict() for s in results[:-1]] == [s.to_dict() for s in clean]
+
+    def test_collect_mode_in_the_process_pool(self):
+        batch = [("crafty", bad_spec(), LENGTH, 0)] + tasks()
+        results = run_simulations(batch, jobs=2, cache=False, on_error="collect")
+        assert isinstance(results[0], SimulationError)
+        assert all(isinstance(s, SimStats) for s in results[1:])
+
+    def test_bad_config_fails_during_key_derivation_too(self, tmp_path):
+        # with a cache, the factory already raises while the key is built;
+        # that must be a per-task failure as well, not a crash
+        batch = [("crafty", bad_spec(), LENGTH, 0)]
+        results = run_simulations(
+            batch, jobs=1, cache=ResultCache(tmp_path), on_error="collect"
+        )
+        assert isinstance(results[0], SimulationError)
+
+    def test_errors_are_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        batch = [("crafty", bad_spec(), LENGTH, 0)]
+        run_simulations(batch, jobs=1, cache=cache, on_error="collect")
+        assert len(cache) == 0
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            run_simulations([], on_error="ignore")
+
+
+class TestCachePrune:
+    def fill(self, tmp_path, ages_days):
+        """One entry per age (in days before 'now'); returns (cache, now)."""
+        cache = ResultCache(tmp_path)
+        now = 1_700_000_000.0
+        for i, age in enumerate(ages_days):
+            key = f"{i:064d}"
+            cache.put(key, SimStats())
+            mtime = now - age * 86400
+            os.utime(cache._path(key), (mtime, mtime))
+        return cache, now
+
+    def test_prune_by_age(self, tmp_path):
+        cache, now = self.fill(tmp_path, [0, 5, 40, 90])
+        assert cache.prune(max_age_days=30, now=now) == 2
+        assert len(cache) == 2
+
+    def test_prune_by_bytes_evicts_lru(self, tmp_path):
+        cache, now = self.fill(tmp_path, [0, 1, 2, 3])
+        entry = cache._path(f"{0:064d}").stat().st_size
+        assert cache.prune(max_bytes=2 * entry, now=now) == 2
+        # the two *newest* entries survive
+        assert cache.get(f"{0:064d}") is not None
+        assert cache.get(f"{1:064d}") is not None
+        assert cache.get(f"{2:064d}") is None
+
+    def test_prune_without_limits_is_a_noop(self, tmp_path):
+        cache, _ = self.fill(tmp_path, [0, 100])
+        assert cache.prune() == 0
+        assert len(cache) == 2
+
+    def test_prune_cli(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        cache, now = self.fill(tmp_path, [0, 90])
+        # ages are relative to real now in the CLI; backdate far enough
+        assert main(["cache", "prune", "--max-age-days", "365000",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "pruned 0 entries" in capsys.readouterr().out
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 1
+
+
+class TestLazyEnvResolution:
+    def test_default_length_reads_env_at_call_time(self, monkeypatch):
+        from repro.harness import runner
+        from repro.harness.runner import default_length
+
+        monkeypatch.delenv("REPRO_TRACE_LEN", raising=False)
+        assert default_length() == 16000
+        monkeypatch.setenv("REPRO_TRACE_LEN", "1234")
+        assert default_length() == 1234
+        # the historical module constant follows the environment too
+        assert runner.DEFAULT_LENGTH == 1234
+
+    def test_default_length_rejects_garbage_clearly(self, monkeypatch):
+        from repro.harness.runner import default_length
+
+        monkeypatch.setenv("REPRO_TRACE_LEN", "lots")
+        with pytest.raises(ValueError, match="REPRO_TRACE_LEN.*'lots'"):
+            default_length()
+
+    def test_session_honours_late_env(self, monkeypatch):
+        from repro.harness import Session
+
+        monkeypatch.setenv("REPRO_TRACE_LEN", "2345")
+        assert Session().length == 2345
+
+    def test_resolve_jobs_rejects_garbage_clearly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS.*'many'"):
+            resolve_jobs(None)
 
 
 class TestResolution:

@@ -1,0 +1,485 @@
+"""Tests for the repro.sweep subsystem: specs, store, stats, reports,
+campaign execution, retries and crash-resume."""
+
+import json
+
+import pytest
+
+from repro.harness.cache import ResultCache, task_key
+from repro.sweep import (
+    PointAggregate,
+    ResultStore,
+    SweepSpec,
+    SweepSpecError,
+    aggregate,
+    bootstrap_ci,
+    campaign_rows,
+    full_report,
+    load_spec,
+    pareto_frontier,
+    run_spec_for,
+    run_sweep,
+    sweep_result,
+)
+from repro.sweep.report import axis_marginals, export_jsonl, format_markdown
+
+LENGTH = 500
+
+TOML = """
+[sweep]
+name = "mini"
+workloads = ["crafty"]
+lengths = [500]
+seeds = 2
+
+[base]
+machine = "mtvp"
+threads = 2
+predictor = "oracle"
+
+[axes]
+store_buffer_entries = [16, 64]
+"""
+
+
+def mini_spec(**overrides) -> SweepSpec:
+    params = dict(
+        name="mini",
+        base={"machine": "mtvp", "threads": 2, "predictor": "oracle"},
+        axes={"store_buffer_entries": [16, 64]},
+        workloads=("crafty",),
+        lengths=(LENGTH,),
+        seeds=(0, 1),
+    )
+    params.update(overrides)
+    return SweepSpec(**params)
+
+
+class TestSweepSpec:
+    def test_toml_round_trip(self, tmp_path):
+        path = tmp_path / "mini.toml"
+        path.write_text(TOML)
+        spec = load_spec(path)
+        assert spec.name == "mini"
+        assert spec.seeds == (0, 1)
+        assert spec.workloads == ("crafty",)
+        assert [p.params["store_buffer_entries"] for p in spec.expand()] == [16, 64]
+        # JSON serialization reloads to the same expansion
+        jpath = tmp_path / "mini.json"
+        spec.to_json(jpath)
+        clone = load_spec(jpath)
+        assert [p.point_id for p in clone.expand()] == [
+            p.point_id for p in spec.expand()
+        ]
+
+    def test_suite_keywords_expand(self):
+        from repro.workloads import SPEC_INT
+
+        spec = mini_spec(workloads=("int",))
+        assert spec.workloads == SPEC_INT
+
+    def test_seed_count_becomes_range(self):
+        assert mini_spec(seeds=3).seeds == (0, 1, 2)
+
+    def test_unknown_axis_key_rejected(self):
+        with pytest.raises(SweepSpecError, match="unknown axis key"):
+            mini_spec(axes={"not_a_field": [1]})
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            mini_spec(workloads=("no-such-workload",))
+
+    def test_grid_order_is_workload_outer_axes_inner(self):
+        spec = mini_spec(workloads=("crafty", "swim"))
+        points = spec.expand()
+        assert [p.workload for p in points] == ["crafty", "crafty", "swim", "swim"]
+        assert [p.params["store_buffer_entries"] for p in points] == [16, 64, 16, 64]
+
+    def test_constraints_filter_points(self):
+        spec = mini_spec(
+            axes={"store_buffer_entries": [16, 64], "spawn_latency": [1, 8]},
+            constraints=("store_buffer_entries >= 64 or spawn_latency == 1",),
+        )
+        combos = [
+            (p.params["store_buffer_entries"], p.params["spawn_latency"])
+            for p in spec.expand()
+        ]
+        assert combos == [(16, 1), (64, 1), (64, 8)]
+
+    def test_callable_constraint(self):
+        spec = mini_spec(constraints=(lambda ctx: ctx["store_buffer_entries"] > 16,))
+        assert [p.params["store_buffer_entries"] for p in spec.expand()] == [64]
+
+    def test_random_mode_samples_deterministically(self):
+        big = {"store_buffer_entries": [16, 32, 64, 128], "spawn_latency": [1, 8]}
+        a = mini_spec(axes=big, mode="random", samples=3, sample_seed=7)
+        b = mini_spec(axes=big, mode="random", samples=3, sample_seed=7)
+        assert [p.point_id for p in a.expand()] == [p.point_id for p in b.expand()]
+        assert len(a.expand()) == 3
+        grid_ids = {p.point_id for p in mini_spec(axes=big).expand()}
+        assert {p.point_id for p in a.expand()} <= grid_ids
+
+    def test_random_mode_needs_samples(self):
+        with pytest.raises(SweepSpecError, match="samples"):
+            mini_spec(mode="random")
+
+    def test_point_id_stable_and_seedless(self):
+        a, b = mini_spec().expand(), mini_spec().expand()
+        assert [p.point_id for p in a] == [p.point_id for p in b]
+        assert a[0].point_id != a[1].point_id
+
+    def test_run_spec_is_cacheable_and_resolves(self):
+        point = mini_spec().expand()[0]
+        spec = run_spec_for(point.params)
+        config = spec.config_factory()
+        assert config.store_buffer_entries == 16
+        assert config.num_contexts == 2
+        assert task_key(point.workload, spec, point.length, 0) is not None
+
+    def test_store_buffer_zero_means_unbounded(self):
+        spec = run_spec_for({"machine": "mtvp", "store_buffer_entries": 0})
+        assert spec.config_factory().store_buffer_entries is None
+
+    def test_enum_fields_coerce_from_strings(self):
+        from repro.core import FetchPolicy
+
+        spec = run_spec_for({"machine": "mtvp", "fetch_policy": "no_stall"})
+        assert spec.config_factory().fetch_policy is FetchPolicy.NO_STALL
+
+    def test_threads_on_single_context_preset_rejected(self):
+        with pytest.raises(SweepSpecError, match="single-context"):
+            run_spec_for({"machine": "stvp", "threads": 4})
+
+
+class TestResultStore:
+    def rows(self):
+        return [
+            {"point_id": "p1", "seed": 0, "workload": "crafty", "length": 500,
+             "params": {"x": 1}, "idx": 0},
+            {"point_id": "p1", "seed": 1, "workload": "crafty", "length": 500,
+             "params": {"x": 1}, "idx": 0},
+        ]
+
+    def test_ensure_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path / "s.db")
+        assert store.ensure("s", self.rows()) == 2
+        assert store.ensure("s", self.rows()) == 0
+        assert len(store) == 2
+
+    def test_status_lifecycle_and_runnable(self, tmp_path):
+        store = ResultStore(tmp_path / "s.db")
+        store.ensure("s", self.rows())
+        assert len(store.runnable("s")) == 2
+        store.mark_running("s", [("p1", 0)])
+        store.mark_done("s", ("p1", 0), {"cycles": 10}, wall_seconds=0.1)
+        assert [r["seed"] for r in store.runnable("s")] == [1]
+        store.mark_running("s", [("p1", 1)])
+        store.mark_failed("s", ("p1", 1), "boom")
+        # no retry budget: the failed row is out of attempts
+        assert store.runnable("s", retries=0) == []
+        # one retry: attempts(1) <= retries(1) makes it runnable again
+        assert [r["seed"] for r in store.runnable("s", retries=1)] == [1]
+        assert store.counts("s") == {
+            "pending": 0, "running": 0, "done": 1, "failed": 1,
+        }
+
+    def test_stale_running_rows_are_runnable(self, tmp_path):
+        store = ResultStore(tmp_path / "s.db")
+        store.ensure("s", self.rows())
+        store.mark_running("s", [("p1", 0)])
+        assert len(store.runnable("s")) == 2  # crashed claim is re-claimable
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = tmp_path / "s.db"
+        store = ResultStore(path)
+        store.ensure("s", self.rows())
+        store.mark_done("s", ("p1", 0), {"cycles": 10})
+        store.close()
+        reopened = ResultStore(path)
+        assert reopened.counts("s")["done"] == 1
+        assert reopened.sweeps() == ["s"]
+
+
+class TestStats:
+    def test_bootstrap_ci_is_deterministic_and_brackets_mean(self):
+        values = [10.0, 12.0, 8.0, 11.0]
+        lo, hi = bootstrap_ci(values)
+        assert (lo, hi) == bootstrap_ci(values)
+        assert lo <= sum(values) / len(values) <= hi
+        assert bootstrap_ci([5.0]) == (5.0, 5.0)
+
+    def test_straddle_flag(self):
+        clear = PointAggregate("p", 0, "w", 500, {}, {}, [0, 1],
+                               [10.0, 12.0, 11.0], 0)
+        noisy = PointAggregate("p2", 1, "w", 500, {}, {}, [0, 1],
+                               [-5.0, 6.0, -1.0], 0)
+        assert not clear.straddles_zero
+        assert noisy.straddles_zero
+
+    def test_aggregate_pairs_baselines_by_workload_length_seed(self, tmp_path):
+        store = ResultStore(tmp_path / "s.db")
+        rows = [
+            {"point_id": "pt", "seed": s, "workload": "w", "length": 100,
+             "params": {"threads": 2}, "idx": 0}
+            for s in (0, 1)
+        ] + [
+            {"point_id": "base", "seed": s, "role": "baseline", "workload": "w",
+             "length": 100, "params": {}, "idx": -1}
+            for s in (0, 1)
+        ]
+        store.ensure("s", rows)
+        # baseline IPC 1.0; point IPC 1.2 (seed 0) and 0.8 (seed 1)
+        store.mark_done("s", ("base", 0), {"cycles": 100, "useful_instructions": 100})
+        store.mark_done("s", ("base", 1), {"cycles": 100, "useful_instructions": 100})
+        store.mark_done("s", ("pt", 0), {"cycles": 100, "useful_instructions": 120},
+                        config={"num_contexts": 2})
+        store.mark_done("s", ("pt", 1), {"cycles": 100, "useful_instructions": 80})
+        (agg,) = aggregate(store.rows("s"))
+        assert agg.speedups == pytest.approx([20.0, -20.0])
+        assert agg.mean == pytest.approx(0.0)
+        assert agg.straddles_zero
+        assert agg.contexts_used == 2
+
+
+class TestReport:
+    def aggs(self):
+        return [
+            PointAggregate("a", 0, "w", 500, {"threads": 2}, {"num_contexts": 2},
+                           [0, 1], [10.0, 12.0], 0),
+            PointAggregate("b", 1, "w", 500, {"threads": 4}, {"num_contexts": 4},
+                           [0, 1], [11.0, 11.5], 0),
+            PointAggregate("c", 2, "w", 500, {"threads": 8}, {"num_contexts": 8},
+                           [0, 1], [18.0, 20.0], 0),
+            PointAggregate("d", 3, "w", 500, {"threads": 16}, {"num_contexts": 16},
+                           [], [], 2),  # failed point
+        ]
+
+    def test_sweep_result_columns_and_flags(self):
+        result = sweep_result("t", self.aggs())
+        assert "threads" in result.columns
+        assert result.rows[0]["mean %"] == pytest.approx(11.0)
+        assert result.rows[3]["noise?"] == "FAILED"
+        assert result.summary["points failed"] == 1
+        assert "format" not in result.format_table()  # smoke: renders
+
+    def test_pareto_frontier_drops_dominated(self):
+        frontier = pareto_frontier(self.aggs())
+        ids = {a.point_id for a in frontier}
+        # b (4 contexts, 11.25%) is dominated by a (2 contexts, 11.0%)? no:
+        # a has less speedup — both survive; c pays 8 contexts for 19%.
+        assert ids == {"a", "b", "c"}
+        # a point strictly better than another on every axis dominates it
+        worse = PointAggregate("e", 4, "w", 500, {"threads": 8},
+                               {"num_contexts": 8}, [0, 1], [1.0, 1.2], 0)
+        assert "e" not in {a.point_id for a in pareto_frontier(self.aggs() + [worse])}
+
+    def test_axis_marginals(self):
+        marginal = axis_marginals(self.aggs(), "threads")
+        assert [r["threads"] for r in marginal.rows] == ["2", "4", "8"]
+        single = axis_marginals(self.aggs()[:1], "threads")
+        assert single is None
+
+    def test_markdown_and_jsonl(self):
+        text = format_markdown(sweep_result("t", self.aggs()))
+        assert text.startswith("### Sweep t")
+        assert "| --- " in text
+        lines = export_jsonl(self.aggs()).strip().splitlines()
+        assert len(lines) == 4
+        parsed = json.loads(lines[0])
+        assert parsed["mean"] == pytest.approx(11.0)
+
+
+class TestRunSweep:
+    def test_campaign_completes_and_resume_noops(self, tmp_path, monkeypatch):
+        spec = mini_spec()
+        store = ResultStore(tmp_path / "s.db")
+        summary = run_sweep(spec, store, cache=False)
+        # 2 points x 2 seeds + 1 baseline x 2 seeds
+        assert summary.total == 6 and summary.complete
+        assert summary.simulated == 6 and summary.skipped == 0
+
+        import repro.harness.parallel as par
+
+        def boom(*a):
+            raise AssertionError("resume must not re-simulate done rows")
+
+        monkeypatch.setattr(par, "_run_task", boom)
+        resumed = run_sweep(spec, store, cache=False)
+        assert resumed.complete and resumed.simulated == 0
+        assert resumed.skipped == 6
+
+    def test_failing_point_is_retried_then_reported(self, tmp_path):
+        spec = mini_spec(
+            axes={"spawn_latency": [1, -1]},  # -1 is rejected by MachineConfig
+            retries=1,
+        )
+        store = ResultStore(tmp_path / "s.db")
+        summary = run_sweep(spec, store, cache=False)
+        assert summary.failed == 2  # the bad point's two seeds
+        assert summary.done == summary.total - 2
+        failed = [r for r in store.rows(spec.name) if r["status"] == "failed"]
+        assert all(r["attempts"] == 2 for r in failed)  # first try + 1 retry
+        assert all("spawn_latency" in (r["error"] or "") or "simulation failed"
+                   in (r["error"] or "") for r in failed)
+        # the report degrades gracefully instead of aborting
+        aggs = aggregate(store.rows(spec.name))
+        result = sweep_result(spec.name, aggs)
+        assert result.summary["points failed"] == 1
+        assert full_report(spec.name, aggs)  # renders
+
+    def test_bad_predictor_name_marks_point_failed(self, tmp_path):
+        spec = mini_spec(axes={}, base={"machine": "mtvp", "threads": 2,
+                                        "predictor": "no-such-predictor"})
+        store = ResultStore(tmp_path / "s.db")
+        summary = run_sweep(spec, store, cache=False, retries=0)
+        assert summary.failed == 2  # both seeds of the single point
+        assert summary.done == 2  # baselines still ran
+
+    def test_max_points_truncates(self, tmp_path):
+        spec = mini_spec()
+        store = ResultStore(tmp_path / "s.db")
+        summary = run_sweep(spec, store, cache=False, max_points=1)
+        # 1 point x 2 seeds + baseline x 2 seeds
+        assert summary.total == 4 and summary.complete
+
+    def test_campaign_rows_include_baselines(self):
+        rows = campaign_rows(mini_spec())
+        roles = [r["role"] for r in rows]
+        assert roles.count("point") == 4 and roles.count("baseline") == 2
+
+    def test_results_match_direct_simulation(self, tmp_path):
+        """Sweep-stored stats must be byte-identical to a direct run."""
+        spec = mini_spec(seeds=(0,))
+        store = ResultStore(tmp_path / "s.db")
+        run_sweep(spec, store, cache=False)
+        point = spec.expand()[0]
+        direct = run_spec_for(point.params).run(point.workload, point.length, 0)
+        stored = next(
+            json.loads(r["stats"])
+            for r in store.rows(spec.name, role="point")
+            if r["point_id"] == point.point_id
+        )
+        assert stored == direct.to_dict()
+
+
+class TestCrashResume:
+    """The interrupt-and-resume contract of ISSUE 4.
+
+    Kill a campaign after N rows are committed, resume it, and require
+    (a) zero re-simulation of committed rows and (b) a final report
+    byte-identical to an uninterrupted run of the same sweep.
+    """
+
+    def run_interrupted(self, tmp_path, monkeypatch, kill_after, cache=False):
+        spec = mini_spec()
+        store = ResultStore(tmp_path / "crash.db")
+        committed = 0
+        real_mark_done = ResultStore.mark_done
+
+        def dying_mark_done(self, *args, **kwargs):
+            nonlocal committed
+            if committed >= kill_after:
+                raise KeyboardInterrupt  # the mid-campaign kill
+            committed += 1
+            return real_mark_done(self, *args, **kwargs)
+
+        monkeypatch.setattr(ResultStore, "mark_done", dying_mark_done)
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(spec, store, cache=cache, chunk=2)
+        monkeypatch.setattr(ResultStore, "mark_done", real_mark_done)
+        return spec, store, committed
+
+    def test_resume_skips_committed_rows(self, tmp_path, monkeypatch):
+        kill_after = 3
+        spec, store, committed = self.run_interrupted(
+            tmp_path, monkeypatch, kill_after
+        )
+        assert committed == kill_after
+        assert store.counts(spec.name)["done"] == kill_after
+
+        import repro.harness.parallel as par
+
+        calls = []
+        real = par._run_task
+        monkeypatch.setattr(par, "_run_task", lambda *a: calls.append(a) or real(*a))
+        resumed = run_sweep(spec, store, cache=False)
+        assert resumed.complete
+        assert resumed.skipped == kill_after
+        # zero re-simulation of completed rows: only the remainder ran
+        assert len(calls) == resumed.total - kill_after
+        assert resumed.simulated == resumed.total - kill_after
+
+    def test_warm_cache_serves_the_lost_chunk(self, tmp_path, monkeypatch):
+        """Rows simulated before the kill but not yet committed to the
+        store are free on resume: the result cache still has them."""
+        cache = ResultCache(tmp_path / "cache")
+        spec, store, committed = self.run_interrupted(
+            tmp_path, monkeypatch, kill_after=3, cache=cache
+        )
+        already_cached = len(cache)  # simulations the killed run completed
+        assert already_cached > committed  # some results outran their commit
+
+        import repro.harness.parallel as par
+
+        calls = []
+        real = par._run_task
+        monkeypatch.setattr(par, "_run_task", lambda *a: calls.append(a) or real(*a))
+        resume_cache = ResultCache(tmp_path / "cache")
+        resumed = run_sweep(spec, store, cache=resume_cache)
+        assert resumed.complete
+        # fresh simulations = rows the killed run never reached at all
+        assert len(calls) == resumed.total - already_cached
+        # and the simulated-but-uncommitted rows were pure cache hits
+        assert resume_cache.hits == already_cached - committed
+
+    def test_final_report_byte_identical_to_uninterrupted(
+        self, tmp_path, monkeypatch
+    ):
+        spec, store, _ = self.run_interrupted(tmp_path, monkeypatch, kill_after=3)
+        run_sweep(spec, store, cache=False)
+        interrupted_report = full_report(spec.name, aggregate(store.rows(spec.name)))
+
+        clean_store = ResultStore(tmp_path / "clean.db")
+        run_sweep(mini_spec(), clean_store, cache=False)
+        clean_report = full_report(
+            spec.name, aggregate(clean_store.rows(spec.name))
+        )
+        assert interrupted_report == clean_report
+
+
+class TestSweepCLI:
+    def test_run_resume_status_report(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        spec_path = tmp_path / "mini.toml"
+        spec_path.write_text(TOML)
+        db = str(tmp_path / "mini.db")
+        base = ["sweep", "run", str(spec_path), "--db", db, "--no-cache",
+                "--seeds", "2", "--length", "500"]
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+
+        resume = ["sweep", "resume", str(spec_path), "--db", db, "--no-cache",
+                  "--seeds", "2", "--length", "500"]
+        assert main(resume) == 0
+        assert "0 simulated" in capsys.readouterr().out
+
+        assert main(["sweep", "status", str(spec_path), "--db", db]) == 0
+        assert "done" in capsys.readouterr().out
+
+        csv_path = tmp_path / "r.csv"
+        assert main(["sweep", "report", str(spec_path), "--db", db,
+                     "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bootstrap CI" in out and "best point" in out
+        assert csv_path.exists()
+
+    def test_report_without_results_fails_cleanly(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        spec_path = tmp_path / "mini.toml"
+        spec_path.write_text(TOML)
+        assert main(["sweep", "report", str(spec_path),
+                     "--db", str(tmp_path / "empty.db")]) == 1
+        assert "no results" in capsys.readouterr().out
