@@ -79,6 +79,9 @@ def simulate(
     seed: int = 0,
     tracer=None,
     metrics=None,
+    warmup: int = 0,
+    checkpoints=None,
+    checkpoint_key: str | None = None,
 ) -> SimStats:
     """Run one simulation and return its statistics.
 
@@ -89,12 +92,27 @@ def simulate(
         predictor: Value predictor; defaults to the oracle predictor.
         selector: Load selector; defaults to :class:`AlwaysSelector`.
         length: Trace length when a workload is given (defaults to the
-            workload's own ``default_length``).
+            workload's own ``default_length``).  With ``warmup`` this is
+            the *measured* length: the trace is extended by ``warmup``
+            instructions that are fast-forwarded, not timed.
         seed: Dynamic-stream seed when a workload is given.
         tracer: Optional :class:`repro.obs.Tracer` collecting cycle-stamped
             events; export with its ``export_chrome``/``export_jsonl``.
         metrics: Optional :class:`repro.obs.MetricsRegistry`; results land
             in ``stats.extended``.
+        warmup: Instructions to execute *functionally* before timing
+            starts (caches, prefetcher and predictor tables warm; no
+            cycles accumulate).  Reported as
+            ``stats.warmup_instructions``.
+        checkpoints: Optional
+            :class:`~repro.harness.checkpoint.CheckpointStore`; with a
+            ``checkpoint_key`` the warmed architectural state is restored
+            from (or stored into) it, so repeated warmups are paid once.
+        checkpoint_key: Store key identifying the warmed state (see
+            :func:`~repro.harness.checkpoint.arch_key`); ignored without
+            a store.  Instrumented runs (``tracer``/``metrics``) never
+            touch the store — snapshots exclude probe state — but still
+            fast-forward.
 
     Returns:
         The populated :class:`SimStats` for the run.
@@ -103,7 +121,15 @@ def simulate(
         workload_or_trace = get_workload(workload_or_trace)
     warm_addresses = None
     if isinstance(workload_or_trace, Workload):
-        trace = workload_or_trace.trace(length=length, seed=seed)
+        if warmup:
+            measured = (
+                length
+                if length is not None
+                else workload_or_trace.spec.default_length
+            )
+            trace = workload_or_trace.trace(length=warmup + measured, seed=seed)
+        else:
+            trace = workload_or_trace.trace(length=length, seed=seed)
         if config.warm_caches:
             warm_addresses = _steady_state_footprint(workload_or_trace, config)
     else:
@@ -112,6 +138,17 @@ def simulate(
         trace, config, predictor=predictor, selector=selector,
         warm_addresses=warm_addresses, tracer=tracer, metrics=metrics,
     )
+    if warmup:
+        store = checkpoints
+        if checkpoint_key is None or tracer is not None or metrics is not None:
+            store = None
+        payload = store.get(checkpoint_key) if store is not None else None
+        if payload is not None:
+            engine.restore(payload)
+        else:
+            engine.fast_forward(warmup)
+            if store is not None:
+                store.put(checkpoint_key, engine.snapshot(scope="arch"))
     return engine.run()
 
 

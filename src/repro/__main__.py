@@ -55,12 +55,81 @@ def _session_for(args: argparse.Namespace, **overrides):
         selector=args.selector,
         length=length,
         seed=args.seed,
+        warmup=getattr(args, "warmup", 0),
+        sample=getattr(args, "sample", None),
         name=args.machine,
         **overrides,
     )
 
 
+def _cmd_run_checkpoint(args: argparse.Namespace) -> int:
+    """The ``run --checkpoint/--restore`` path: explicit warmup state files.
+
+    Drives the engine directly — checkpoint files name a specific warmed
+    state, which the cached :class:`~repro.harness.Session` pipeline
+    (whose keyed store is the better fit for campaigns) doesn't expose.
+    """
+    from repro import _steady_state_footprint
+    from repro.core import Engine
+    from repro.harness.checkpoint import load_checkpoint, save_checkpoint
+
+    if args.trace or args.profile:
+        print("--checkpoint/--restore cannot be combined with "
+              "--trace/--profile")
+        return 1
+    workload = get_workload(args.workload)
+    length = args.sample or args.length or workload.spec.default_length
+    config = MACHINES[args.machine](args.threads)
+    warmup = args.warmup
+    restored = None
+    if args.restore:
+        try:
+            restored = load_checkpoint(
+                args.restore, workload=args.workload, seed=args.seed
+            )
+        except (OSError, ValueError) as exc:
+            print(f"cannot restore checkpoint: {exc}")
+            return 1
+        warmup = restored["warmup"]
+        print(f"restored {args.restore}: warmed {warmup} instructions")
+    if not warmup:
+        print("--checkpoint needs --warmup N (or --restore FILE) to define "
+              "the warmed state")
+        return 1
+    trace = workload.trace(length=warmup + length, seed=args.seed)
+    warm_addresses = (
+        _steady_state_footprint(workload, config) if config.warm_caches else None
+    )
+    engine = Engine(
+        trace,
+        config,
+        predictor=vp.resolve(args.predictor)(),
+        selector=select.resolve(args.selector)(),
+        warm_addresses=warm_addresses,
+    )
+    if restored is not None:
+        engine.restore(restored["arch"])
+    else:
+        engine.fast_forward(warmup)
+    if args.checkpoint:
+        save_checkpoint(
+            args.checkpoint,
+            engine.snapshot(scope="arch"),
+            workload=args.workload,
+            seed=args.seed,
+        )
+        print(f"wrote warmup checkpoint ({warmup} instructions) "
+              f"to {args.checkpoint}")
+    stats = engine.run()
+    print(f"{args.workload} on {args.machine} ({args.threads} threads), "
+          f"warmup {warmup} + measured {length}")
+    print(stats.summary())
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.checkpoint or args.restore:
+        return _cmd_run_checkpoint(args)
     tracer = None
     if args.trace:
         from repro.obs import Tracer
@@ -172,6 +241,10 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     from repro.sweep import run_sweep
 
     spec, store = _sweep_spec_and_store(args)
+    if getattr(args, "warmup", None) is not None:
+        spec.warmup = args.warmup
+    if getattr(args, "sample", None) is not None:
+        spec.sample = args.sample
     with store:
         summary = run_sweep(
             spec,
@@ -180,6 +253,7 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
             cache=_resolve_cli_cache(args),
             retries=args.retries,
             max_points=args.points,
+            checkpoints=args.checkpoint_dir,
             echo=print,
         )
     return 0 if summary.done else 1
@@ -250,9 +324,15 @@ def _cmd_cache_prune(args: argparse.Namespace) -> int:
     removed = cache.prune(
         max_bytes=_parse_size(args.max_bytes) if args.max_bytes else None,
         max_age_days=args.max_age_days,
+        dry_run=args.dry_run,
     )
-    print(f"pruned {removed} entries from {cache.directory} "
-          f"({len(cache)} remaining)")
+    if args.dry_run:
+        print(f"would prune {removed} entries ({cache.last_prune_bytes} "
+              f"bytes) from {cache.directory} "
+              f"({len(cache) - removed} would remain)")
+    else:
+        print(f"pruned {removed} entries ({cache.last_prune_bytes} bytes) "
+              f"from {cache.directory} ({len(cache)} remaining)")
     return 0
 
 
@@ -308,6 +388,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--profile", default=None, metavar="FILE",
         help="profile the simulation with cProfile and dump stats to FILE",
+    )
+    p.add_argument(
+        "--warmup", type=int, default=0, metavar="N",
+        help="fast-forward N instructions functionally (caches and "
+             "predictor tables warm, no cycles) before the timed region",
+    )
+    p.add_argument(
+        "--sample", type=int, default=None, metavar="N",
+        help="measured-interval length after warmup (default: --length)",
+    )
+    p.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="after warming up, save the architectural state to FILE "
+             "(reusable via --restore; requires --warmup or --restore)",
+    )
+    p.add_argument(
+        "--restore", default=None, metavar="FILE",
+        help="restore warmed architectural state from FILE instead of "
+             "fast-forwarding (must match the workload and seed)",
     )
     p.set_defaults(func=_cmd_run)
 
@@ -403,6 +502,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="result cache directory (default: $REPRO_CACHE_DIR or "
                  "~/.cache/repro)",
         )
+        sp.add_argument(
+            "--warmup", type=int, default=None, metavar="N",
+            help="override the spec's functional warmup length",
+        )
+        sp.add_argument(
+            "--sample", type=int, default=None, metavar="N",
+            help="override the spec's measured-interval length",
+        )
+        sp.add_argument(
+            "--checkpoint-dir", default=None,
+            help="warmup checkpoint store for warmed campaigns (default: "
+                 "$REPRO_CHECKPOINT_DIR, else no checkpoint reuse)",
+        )
         sp.set_defaults(func=_cmd_sweep_run)
 
     sp = ssub.add_parser("status", help="row counts and failures of a campaign")
@@ -434,6 +546,11 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument(
         "--max-age-days", type=float, default=None, metavar="DAYS",
         help="drop entries older than DAYS",
+    )
+    sp.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be evicted (count and bytes) without "
+             "deleting anything",
     )
     sp.add_argument(
         "--cache-dir", default=None,

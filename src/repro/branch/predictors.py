@@ -51,6 +51,35 @@ class BranchPredictor:
         self.update(pc, history, taken)
         return predicted
 
+    def snapshot(self) -> dict:
+        """Serialize predictor tables to a versioned picklable dict."""
+        return {
+            "version": 1,
+            "kind": type(self).__name__,
+            "state": self._snapshot_state(),
+        }
+
+    def restore(self, data: dict) -> None:
+        """Restore from a :meth:`snapshot` payload of the same kind."""
+        if data.get("version") != 1:
+            raise ValueError(
+                f"unsupported BranchPredictor snapshot version: "
+                f"{data.get('version')!r}"
+            )
+        if data.get("kind") != type(self).__name__:
+            raise ValueError(
+                f"branch-predictor snapshot is for {data.get('kind')!r}, "
+                f"not {type(self).__name__}"
+            )
+        self._restore_state(data["state"])
+
+    def _snapshot_state(self) -> dict:
+        """Table contents for :meth:`snapshot`; the static stub has none."""
+        return {}
+
+    def _restore_state(self, state: dict) -> None:
+        """Restore table contents captured by :meth:`_snapshot_state`."""
+
 
 class _CounterTable:
     """A table of 2-bit saturating counters packed in a flat list."""
@@ -76,6 +105,14 @@ class _CounterTable:
         elif c > 0:
             self.counters[i] = c - 1
 
+    def snapshot(self) -> list[int]:
+        return list(self.counters)
+
+    def restore(self, counters: list[int]) -> None:
+        if len(counters) != self.entries:
+            raise ValueError("counter-table snapshot size mismatch")
+        self.counters = list(counters)
+
 
 class BimodalPredictor(BranchPredictor):
     """PC-indexed table of 2-bit counters (16K entries in the paper)."""
@@ -88,6 +125,12 @@ class BimodalPredictor(BranchPredictor):
 
     def update(self, pc: int, history: int, taken: bool) -> None:
         self._table.train(pc >> 2, taken)
+
+    def _snapshot_state(self) -> dict:
+        return {"table": self._table.snapshot()}
+
+    def _restore_state(self, state: dict) -> None:
+        self._table.restore(state["table"])
 
 
 class GsharePredictor(BranchPredictor):
@@ -105,6 +148,12 @@ class GsharePredictor(BranchPredictor):
 
     def update(self, pc: int, history: int, taken: bool) -> None:
         self._table.train(self._index(pc, history), taken)
+
+    def _snapshot_state(self) -> dict:
+        return {"table": self._table.snapshot()}
+
+    def _restore_state(self, state: dict) -> None:
+        self._table.restore(state["table"])
 
 
 #: global-history bits used by each skewed bank (G0 short, G1 long), the
@@ -220,3 +269,19 @@ class TwoBcGskewPredictor(BranchPredictor):
             if g1 == taken:
                 self._g1.train(i2, taken)
         return prediction
+
+    def _snapshot_state(self) -> dict:
+        return {
+            "bim": self._bim.snapshot(),
+            "g0": self._g0.snapshot(),
+            "g1": self._g1.snapshot(),
+            "meta": self._meta.snapshot(),
+            "lookups": self.lookups,
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        self._bim.restore(state["bim"])
+        self._g0.restore(state["g0"])
+        self._g1.restore(state["g1"])
+        self._meta.restore(state["meta"])
+        self.lookups = state["lookups"]

@@ -55,6 +55,29 @@ class SlotAllocator:
         """How many slots are already booked in cycle ``t`` (for tests)."""
         return self._booked.get(int(t), 0)
 
+    def snapshot(self) -> dict:
+        """Serialize bookings and counters to a versioned picklable dict."""
+        return {
+            "version": 1,
+            "capacity": self.capacity,
+            "booked": [[c, n] for c, n in self._booked.items()],
+            "min_interesting": self._min_interesting,
+            "acquired": self.acquired,
+        }
+
+    def restore(self, data: dict) -> None:
+        """Restore from a :meth:`snapshot` payload (same capacity)."""
+        if data.get("version") != 1:
+            raise ValueError(
+                f"unsupported SlotAllocator snapshot version: "
+                f"{data.get('version')!r}"
+            )
+        if data["capacity"] != self.capacity:
+            raise ValueError("SlotAllocator snapshot capacity mismatch")
+        self._booked = {c: n for c, n in data["booked"]}
+        self._min_interesting = data["min_interesting"]
+        self.acquired = data["acquired"]
+
 
 class PortedIssue:
     """Issue bandwidth: per-class port limits under a global width cap.
@@ -110,3 +133,26 @@ class PortedIssue:
     def issued(self) -> int:
         """Total issue slots booked."""
         return self._total.acquired
+
+    def snapshot(self) -> dict:
+        """Serialize the total and per-class allocators (versioned)."""
+        return {
+            "version": 1,
+            "total": self._total.snapshot(),
+            "classes": {
+                name: alloc.snapshot() for name, alloc in self._classes.items()
+            },
+        }
+
+    def restore(self, data: dict) -> None:
+        """Restore from a :meth:`snapshot` payload (same port structure)."""
+        if data.get("version") != 1:
+            raise ValueError(
+                f"unsupported PortedIssue snapshot version: "
+                f"{data.get('version')!r}"
+            )
+        if set(data["classes"]) != set(self._classes):
+            raise ValueError("PortedIssue snapshot port classes mismatch")
+        self._total.restore(data["total"])
+        for name, alloc in self._classes.items():
+            alloc.restore(data["classes"][name])

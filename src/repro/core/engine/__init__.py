@@ -1,0 +1,67 @@
+"""The threaded-value-prediction execution engine.
+
+This is the reproduction's SMTSIM stand-in: a trace-driven, timestamp-based
+out-of-order timing model with the thread-spawning machinery of Sections
+3.2/3.3 layered on top.  See DESIGN.md §2 for the modeling approach and its
+documented fidelity compromises.
+
+The engine used to be one module; it is now a package of staged components
+organized around the boundary between *architectural* state (registers,
+trace position, memory image, predictor tables) and *microarchitectural
+timing* state (in-flight timestamps, port reservations, pending measures):
+
+* :mod:`~repro.core.engine.records` — shared hot-loop tables and
+  :class:`SpawnRecord`;
+* :mod:`~repro.core.engine.scheduler` — which context steps next;
+* :mod:`~repro.core.engine.step` — the per-instruction timing kernel;
+* :mod:`~repro.core.engine.predict` — the load value-prediction path;
+* :mod:`~repro.core.engine.lifecycle` — spawn / confirm / kill;
+* :mod:`~repro.core.engine.measures` — deferred ILP-pred episode
+  retirement;
+* :mod:`~repro.core.engine.warmup` — warm start and functional
+  fast-forward (architectural state only);
+* :mod:`~repro.core.engine.snapshot` — full and architectural-scope
+  checkpointing;
+* :mod:`~repro.core.engine.core` — the :class:`Engine` facade composing
+  them.
+
+``from repro.core.engine import Engine, SpawnRecord`` works exactly as it
+did when this was a module, and the old module's private helpers remain
+importable from this path for back-compat (resolved lazily below).
+"""
+
+from __future__ import annotations
+
+from repro.core.engine.core import Engine
+from repro.core.engine.records import SpawnRecord
+from repro.core.engine.scheduler import NO_LIMIT
+from repro.core.engine.snapshot import SNAPSHOT_VERSION
+
+__all__ = ["Engine", "SpawnRecord", "NO_LIMIT", "SNAPSHOT_VERSION"]
+
+#: legacy private names from the pre-package engine module, mapped to the
+#: submodule that now owns them (PEP 562 module __getattr__ below)
+_LEGACY_HOMES = {
+    "_LOAD": "records",
+    "_STORE": "records",
+    "_BRANCH": "records",
+    "_QUEUE_OF": "records",
+    "_EXEC_LAT": "records",
+    "_OP_NAMES": "records",
+    "_KIND": "records",
+    "_KIND_NONE": "records",
+    "_ML_L1": "records",
+    "_ML_L2": "records",
+    "_NO_MEASURES": "records",
+}
+
+
+def __getattr__(name: str):
+    home = _LEGACY_HOMES.get(name)
+    if home is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(f"{__name__}.{home}"), name)

@@ -1,0 +1,247 @@
+"""Spawn / join / kill lifecycle of speculative contexts.
+
+This is where architectural and timing state meet: spawning flash-copies
+the architectural register map into a child, confirmation promotes
+speculative store-buffer contents (architectural) and splices the context
+chain, and a kill discards both the child's buffered stores and its pending
+timing bookkeeping.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from repro.core.config import SimMode
+from repro.core.context import ThreadContext
+from repro.core.engine.records import SpawnRecord
+from repro.isa import Instruction
+from repro.select import PredictionKind
+
+
+class LifecycleMixin:
+    """Creates, confirms and squashes speculative contexts."""
+
+    def _spawn(
+        self,
+        parent: ThreadContext,
+        inst: Instruction,
+        values: list[tuple[int, int]],
+        t_queue: int,
+        t_complete: int,
+        kind: SimMode,
+    ) -> SpawnRecord:
+        """Create speculative context(s) for the given predicted values."""
+        record = SpawnRecord(
+            resolve_time=t_complete,
+            parent=parent,
+            actual=inst.value or 0,
+            pc=inst.pc,
+            start_time=t_queue,
+            kind=kind,
+        )
+        record.start_global = self._global_fetched
+        for value, ready_time in values:
+            slot = self._free_slot()
+            if slot is None:
+                break
+            child = ThreadContext(
+                slot=slot,
+                order=self._alloc_order(),
+                pos=parent.pos + 1,
+                start_time=ready_time,
+                parent=parent,
+                speculative=True,
+            )
+            child.reg_ready[inst.dst] = ready_time if kind is SimMode.MTVP else t_complete
+            child.spawn_record_as_child = record
+            if child.pos >= self._trace_len:
+                # spawned on the final instruction: nothing left to run,
+                # the child only waits for its confirmation
+                child.done = True
+            parent.children.append(child)
+            self._contexts[slot] = child
+            record.children.append((child, value))
+            self.stats.spawns += 1
+        parent.arch_limit = parent.pos
+        parent.pending_spawn = True
+        parent.spawn_record_as_parent = record
+        heappush(self._pending, (t_complete, self._heap_seq, record))
+        self._heap_seq += 1
+        obs = self._obs
+        if obs is not None:
+            for child, value in record.children:
+                obs.spawn(t_queue, parent.order, child.order, inst.pc, value)
+            obs.context_count(t_queue, len(self._alive_contexts()))
+        return record
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def _resolve_next(self) -> None:
+        resolve_time, _seq, record = heappop(self._pending)
+        if record.void or not record.parent.alive:
+            return
+        parent = record.parent
+        stats = self.stats
+        obs = self._obs
+        if obs is not None:
+            obs.now = resolve_time
+            obs.tid = parent.order
+
+        winner: ThreadContext | None = None
+        winner_value = 0
+        for child, value in record.children:
+            if child.alive and (record.kind is SimMode.SPAWN_ONLY or value == record.actual):
+                winner = child
+                winner_value = value
+                break
+        losers = [
+            child
+            for child, _v in record.children
+            if child.alive and child is not winner
+        ]
+        for loser in losers:
+            self._kill_subtree(loser, resolve_time)
+
+        if winner is None:
+            # misprediction: parent resumes past the load; the speculative
+            # progress made was useless, so ILP-pred sees zero
+            if record.kind is SimMode.MTVP:
+                stats.mtvp_incorrect += 1
+                self.predictor.record_outcome(False)
+            self.selector.record(
+                record.pc, PredictionKind.MTVP, 0, max(1, resolve_time - record.start_time)
+            )
+            parent.blocked = False
+            parent.pending_spawn = False
+            parent.spawn_record_as_parent = None
+            if resolve_time + 1 > parent.resume_at:
+                parent.resume_at = resolve_time + 1
+            # any progress the parent made past the load (no-stall policy)
+            # is real execution and becomes architectural
+            parent.within_commits += parent.beyond_commits
+            parent.beyond_commits = 0
+            parent.arch_limit = None
+            if obs is not None:
+                obs.squash(resolve_time, parent.order, record.pc)
+                obs.context_count(resolve_time, len(self._alive_contexts()))
+            return
+
+        # confirmation: the parent retires, the winner carries on
+        if record.kind is SimMode.MTVP:
+            stats.mtvp_correct += 1
+            self.predictor.record_outcome(True)
+        stats.confirms += 1
+        self.selector.record(
+            record.pc,
+            PredictionKind.MTVP,
+            max(0, self._global_fetched - record.start_global),
+            max(1, resolve_time - record.start_time),
+            committed=winner.within_commits,
+        )
+        # parent's other children (spawned from its doomed post-load
+        # stream under the no-stall policy) die with it
+        for other in list(parent.children):
+            if other is not winner and other.alive:
+                self._kill_subtree(other, resolve_time)
+        self._retire_parent(parent, winner, record, resolve_time)
+        if obs is not None:
+            obs.join(
+                resolve_time, winner.order, parent.order, record.pc,
+                max(0, self._global_fetched - record.start_global),
+                max(1, resolve_time - record.start_time),
+            )
+            obs.context_count(resolve_time, len(self._alive_contexts()))
+        _ = winner_value
+
+    def _retire_parent(
+        self,
+        parent: ThreadContext,
+        winner: ThreadContext,
+        record: SpawnRecord,
+        resolve_time: int,
+    ) -> None:
+        """Release the parent after a confirmed prediction; its work stands.
+
+        The parent's architectural contribution (commits up to and
+        including the predicted load) folds *into the winner*: it only
+        becomes finally useful if the whole chain below the winner
+        survives.  If an older outstanding prediction later turns out
+        wrong, the winner — now carrying these counts — is killed and the
+        work is correctly accounted as wasted.
+        """
+        # everything up to and including the load travels with the winner
+        winner.within_commits += parent.within_commits
+        for t in (parent.last_within_commit, record.load_commit_time, resolve_time):
+            if t > winner.last_within_commit:
+                winner.last_within_commit = t
+        # progress past the load (no-stall policy) duplicated work the
+        # winner already performed — wasted either way
+        self.stats.wasted_instructions += parent.beyond_commits
+        self._flush_measures(parent)
+        parent.alive = False
+        self._contexts[parent.slot] = None
+        # splice the chain: the winner replaces the parent everywhere
+        grand = parent.parent
+        winner.parent = grand
+        if grand is not None:
+            if parent in grand.children:
+                grand.children.remove(parent)
+            grand.children.append(winner)
+        outer = parent.spawn_record_as_child
+        if outer is not None and not outer.void:
+            outer.children = [
+                (winner if c is parent else c, v) for c, v in outer.children
+            ]
+            winner.spawn_record_as_child = outer
+        else:
+            winner.spawn_record_as_child = None
+        # speculative status propagates down the chain
+        if not parent.speculative:
+            self._make_architectural(winner, resolve_time)
+
+    def _make_architectural(self, ctx: ThreadContext, now: int) -> None:
+        """Promote a confirmed context to non-speculative status."""
+        ctx.speculative = False
+        # release this thread's (and dead ancestors') buffered stores
+        for entry in self.store_buffer.drain_upto(ctx.order):
+            self.hierarchy.store(entry.addr, max(entry.time, now))
+        self._wake_sb_waiters(now)
+        if ctx.sb_paused:
+            ctx.sb_paused = False
+            if now > ctx.resume_at:
+                ctx.resume_at = now
+
+    def _kill_subtree(self, ctx: ThreadContext, now: int) -> None:
+        """Squash a mispredicted context and every thread it spawned."""
+        for child in list(ctx.children):
+            if child.alive:
+                self._kill_subtree(child, now)
+        # void the (at most one) pending record where ctx is the parent
+        record = ctx.spawn_record_as_parent
+        if record is not None:
+            record.void = True
+            ctx.spawn_record_as_parent = None
+        self.stats.kills += 1
+        self.stats.wasted_instructions += ctx.within_commits + ctx.beyond_commits
+        if self._obs is not None:
+            self._obs.kill(now, ctx.order, ctx.within_commits + ctx.beyond_commits)
+        self.store_buffer.squash_thread(ctx.order)
+        self._flush_measures(ctx, drop=True)
+        ctx.alive = False
+        if self._contexts[ctx.slot] is ctx:
+            self._contexts[ctx.slot] = None
+        if ctx.parent is not None and ctx in ctx.parent.children:
+            ctx.parent.children.remove(ctx)
+        self._wake_sb_waiters(now)
+
+    def _wake_sb_waiters(self, now: int) -> None:
+        if not self._sb_waiters:
+            return
+        waiters, self._sb_waiters = self._sb_waiters, []
+        for ctx in waiters:
+            if not ctx.alive:
+                continue
+            ctx.sb_paused = False
+            if now > ctx.resume_at:
+                ctx.resume_at = now

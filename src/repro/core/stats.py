@@ -62,6 +62,10 @@ class SimStats:
     #: engine's processor-wide fetched counter); deterministic, unlike the
     #: commit-accounted useful/wasted split it decomposes into
     instructions_stepped: int = 0
+    # interval accounting (warmup + sample protocol)
+    #: instructions skipped by functional fast-forward before the timed
+    #: region; all other counters describe only the measured interval
+    warmup_instructions: int = 0
     #: host wall-clock seconds spent inside Engine.run(); volatile (machine-
     #: dependent), so it is excluded from equality and from to_dict()
     wall_seconds: float = dataclasses.field(default=0.0, compare=False)
@@ -139,6 +143,10 @@ class SimStats:
             # ordinary runs serialize exactly as schema 1 did, keeping old
             # cache entries and golden fixtures comparable byte for byte
             del out["extended"]
+        if not out["warmup_instructions"]:
+            # same byte-compat trick: full (non-warmed) runs serialize
+            # without the interval-accounting key at all
+            del out["warmup_instructions"]
         out["level_counts"] = {
             level.name.lower(): count for level, count in self.level_counts.items()
         }

@@ -25,6 +25,14 @@ from repro.harness.export import (
     stats_to_dict,
 )
 from repro.harness.cache import ResultCache, default_cache_dir, task_key
+from repro.harness.checkpoint import (
+    CheckpointStore,
+    arch_key,
+    default_checkpoint_dir,
+    load_checkpoint,
+    resolve_checkpoints,
+    save_checkpoint,
+)
 from repro.harness.metrics import geomean_speedup, percent_speedup
 from repro.harness.parallel import SimulationError, run_simulations
 from repro.harness.runner import (
@@ -55,7 +63,13 @@ from repro.harness.experiments import (
 
 __all__ = [
     "BenchPoint",
+    "CheckpointStore",
     "ConfigFactory",
+    "arch_key",
+    "default_checkpoint_dir",
+    "load_checkpoint",
+    "resolve_checkpoints",
+    "save_checkpoint",
     "EXPERIMENTS",
     "ExperimentResult",
     "Session",

@@ -135,6 +135,14 @@ def task_key(workload_name: str, spec, length: int, seed: int) -> str | None:
         # observed runs carry extended metrics in their stats; keying them
         # separately keeps plain runs serving plain (smaller) entries
         payload["observe"] = True
+    # interval-protocol axes enter the key only when active, so every key
+    # minted before warmup/sampling existed still resolves unchanged
+    warmup = getattr(spec, "warmup", 0)
+    if warmup:
+        payload["warmup"] = warmup
+    sample = getattr(spec, "sample", None)
+    if sample is not None:
+        payload["sample"] = sample
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -153,6 +161,9 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: bytes covered by the last :meth:`prune` call (evicted, or — under
+        #: ``dry_run`` — merely reported as evictable)
+        self.last_prune_bytes = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -190,6 +201,7 @@ class ResultCache:
         max_bytes: int | None = None,
         max_age_days: float | None = None,
         now: float | None = None,
+        dry_run: bool = False,
     ) -> int:
         """Evict old entries; returns how many files were removed.
 
@@ -199,7 +211,12 @@ class ResultCache:
         :meth:`get` does not bump mtimes, so recency here means recency of
         *storage*, which is the right order for campaign-style usage where
         whole sweeps age out together).  ``now`` is a test hook.
+
+        ``dry_run=True`` deletes nothing: the return value counts the
+        entries that *would* go, and :attr:`last_prune_bytes` (set by
+        every call) totals their sizes.
         """
+        self.last_prune_bytes = 0
         if max_bytes is None and max_age_days is None:
             return 0
         if now is None:
@@ -214,13 +231,15 @@ class ResultCache:
         entries.sort()  # oldest first
         removed = 0
 
-        def evict(path: Path) -> bool:
+        def evict(path: Path, size: int) -> bool:
             nonlocal removed
-            try:
-                path.unlink()
-            except OSError:
-                return False
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    return False
             removed += 1
+            self.last_prune_bytes += size
             return True
 
         if max_age_days is not None:
@@ -228,7 +247,7 @@ class ResultCache:
             keep = []
             for mtime, size, path in entries:
                 if mtime < cutoff:
-                    evict(path)
+                    evict(path, size)
                 else:
                     keep.append((mtime, size, path))
             entries = keep
@@ -237,7 +256,7 @@ class ResultCache:
             for mtime, size, path in entries:  # oldest first
                 if total <= max_bytes:
                     break
-                if evict(path):
+                if evict(path, size):
                     total -= size
         return removed
 

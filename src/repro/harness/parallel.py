@@ -61,9 +61,23 @@ class SimulationError(RuntimeError):
         )
 
 
-def _run_task(spec, workload_name: str, length: int, seed: int) -> SimStats:
-    """Worker entry point: one spec on one workload (must stay picklable)."""
-    return spec.run(workload_name, length, seed)
+def _run_task(
+    spec, workload_name: str, length: int, seed: int, checkpoints=None
+) -> SimStats:
+    """Worker entry point: one spec on one workload (must stay picklable).
+
+    ``checkpoints`` is a directory path in pooled runs (each worker opens
+    its own :class:`~repro.harness.checkpoint.CheckpointStore` on it) or
+    the store object itself on the serial path, so in-process counters
+    survive for callers that report them.
+    """
+    if checkpoints is None:
+        return spec.run(workload_name, length, seed)
+    from repro.harness.checkpoint import resolve_checkpoints
+
+    return spec.run(
+        workload_name, length, seed, checkpoints=resolve_checkpoints(checkpoints)
+    )
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -110,6 +124,7 @@ def run_simulations(
     jobs: int | None = None,
     cache=None,
     on_error: str = "raise",
+    checkpoints=None,
 ) -> list[SimStats]:
     """Run every task, in parallel when ``jobs > 1``, consulting the cache.
 
@@ -122,6 +137,9 @@ def run_simulations(
             aborts the batch; ``"collect"`` instead places the
             :class:`SimulationError` in that task's result slot and keeps
             the remaining tasks running — the sweep runner's degraded mode.
+        checkpoints: Warmup-checkpoint store for warmed specs (see
+            :func:`~repro.harness.checkpoint.resolve_checkpoints`);
+            ``None`` defers to ``$REPRO_CHECKPOINT_DIR``.
 
     Returns:
         One :class:`SimStats` per task, in task order (or a
@@ -130,7 +148,10 @@ def run_simulations(
     """
     if on_error not in ("raise", "collect"):
         raise ValueError(f'on_error must be "raise" or "collect", not {on_error!r}')
+    from repro.harness.checkpoint import resolve_checkpoints
+
     cache_obj = resolve_cache(cache)
+    ckpt_store = resolve_checkpoints(checkpoints)
     n_jobs = resolve_jobs(jobs)
 
     results: list[SimStats | SimulationError | None] = [None] * len(tasks)
@@ -181,10 +202,17 @@ def run_simulations(
     pending = list(groups.values())
     if n_jobs > 1 and len(pending) > 1:
         with ProcessPoolExecutor(max_workers=min(n_jobs, len(pending))) as pool:
+            # workers get the store's directory, not the store: paths
+            # pickle, and each worker reopens its own handle on it
+            ckpt_dir = (
+                str(ckpt_store.directory) if ckpt_store is not None else None
+            )
             futures = {}
             for indices in pending:
                 workload_name, spec, length, seed = tasks[indices[0]]
-                future = pool.submit(_run_task, spec, workload_name, length, seed)
+                future = pool.submit(
+                    _run_task, spec, workload_name, length, seed, ckpt_dir
+                )
                 futures[future] = indices
             remaining = set(futures)
             while remaining:
@@ -200,7 +228,7 @@ def run_simulations(
         for indices in pending:
             workload_name, spec, length, seed = tasks[indices[0]]
             try:
-                stats = _run_task(spec, workload_name, length, seed)
+                stats = _run_task(spec, workload_name, length, seed, ckpt_store)
             except Exception as exc:
                 fail(indices, exc)
             else:

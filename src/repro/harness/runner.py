@@ -58,6 +58,13 @@ class RunSpec:
     :class:`~repro.obs.MetricsRegistry` to every run so the resulting
     stats carry ``extended`` occupancy/speculation metrics; it is part of
     the cache identity, so observed and plain results never alias.
+
+    ``warmup``/``sample`` select the interval protocol: ``warmup``
+    instructions are fast-forwarded functionally before timing starts,
+    and ``sample`` (when set) overrides the caller's trace length as the
+    measured-interval length — so one spec pins "warm 50k, measure 10k"
+    regardless of the session default.  Both are part of the cache
+    identity; both default to the historical full-trace behaviour.
     """
 
     name: str
@@ -65,10 +72,16 @@ class RunSpec:
     predictor_factory: Callable[[], ValuePredictor] | str = "oracle"
     selector_factory: Callable[[], LoadSelector] | str = "ilp-pred"
     observe: bool = False
+    warmup: int = 0
+    sample: int | None = None
 
     def __post_init__(self) -> None:
         self.predictor_factory = vp.resolve(self.predictor_factory)
         self.selector_factory = select.resolve(self.selector_factory)
+        if self.warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        if self.sample is not None and self.sample < 1:
+            raise ValueError("sample must be positive (or None)")
 
     def run(
         self,
@@ -77,21 +90,37 @@ class RunSpec:
         seed: int = 0,
         tracer=None,
         metrics=None,
+        checkpoints=None,
     ) -> SimStats:
-        """Simulate this configuration on one workload."""
+        """Simulate this configuration on one workload.
+
+        ``checkpoints`` (a
+        :class:`~repro.harness.checkpoint.CheckpointStore`) lets a warmed
+        spec restore its architectural warmup state instead of
+        re-deriving it; the key covers only architectural ingredients,
+        so specs differing in timing axes share checkpoints.
+        """
         if metrics is None and self.observe:
             from repro.obs import MetricsRegistry
 
             metrics = MetricsRegistry()
+        checkpoint_key = None
+        if self.warmup and checkpoints is not None:
+            from repro.harness.checkpoint import arch_key
+
+            checkpoint_key = arch_key(workload_name, seed, self.warmup, self)
         return simulate(
             get_workload(workload_name),
             self.config_factory(),
             predictor=self.predictor_factory(),
             selector=self.selector_factory(),
-            length=length,
+            length=self.sample if self.sample is not None else length,
             seed=seed,
             tracer=tracer,
             metrics=metrics,
+            warmup=self.warmup,
+            checkpoints=checkpoints,
+            checkpoint_key=checkpoint_key,
         )
 
 
@@ -119,10 +148,29 @@ def run_once(
     seed: int = 0,
     tracer=None,
     metrics=None,
+    warmup: int | None = None,
+    sample: int | None = None,
+    checkpoints=None,
 ) -> SimStats:
-    """Convenience wrapper: one workload through one run spec."""
+    """Convenience wrapper: one workload through one run spec.
+
+    ``warmup``/``sample`` override the spec's interval protocol for this
+    call only; ``checkpoints`` passes a warmup-checkpoint store through
+    (see :meth:`RunSpec.run`).
+    """
+    if warmup is not None or sample is not None:
+        spec = dataclasses.replace(
+            spec,
+            warmup=spec.warmup if warmup is None else warmup,
+            sample=spec.sample if sample is None else sample,
+        )
     return spec.run(
-        workload_name, length or default_length(), seed, tracer=tracer, metrics=metrics
+        workload_name,
+        length or default_length(),
+        seed,
+        tracer=tracer,
+        metrics=metrics,
+        checkpoints=checkpoints,
     )
 
 

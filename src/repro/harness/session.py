@@ -85,6 +85,14 @@ class Session:
         tracer: Optional :class:`repro.obs.Tracer` shared by this
             session's direct runs.  Traced runs bypass the result cache —
             a cache hit would yield stats but no events.
+        warmup: Instructions functionally fast-forwarded before timing
+            starts on every run (0 = the historical full-trace protocol).
+        sample: Measured-interval length overriding ``length`` when set
+            (the warmup+sample protocol; see :class:`RunSpec`).
+        checkpoints: Warmup-checkpoint store (see
+            :func:`~repro.harness.checkpoint.resolve_checkpoints`);
+            warmed runs restore their architectural state from it instead
+            of re-deriving it.
         name: Label used for the underlying :class:`RunSpec`.
     """
 
@@ -100,6 +108,9 @@ class Session:
         cache=None,
         observe: bool = False,
         tracer=None,
+        warmup: int = 0,
+        sample: int | None = None,
+        checkpoints=None,
         name: str = "session",
     ) -> None:
         self.config_factory = _as_config_factory(config)
@@ -111,6 +122,9 @@ class Session:
         self.cache = cache
         self.observe = observe
         self.tracer = tracer
+        self.warmup = warmup
+        self.sample = sample
+        self.checkpoints = checkpoints
         self.name = name
 
     # ------------------------------------------------------------------
@@ -122,6 +136,8 @@ class Session:
             predictor_factory=self.predictor,
             selector_factory=self.selector,
             observe=self.observe,
+            warmup=self.warmup,
+            sample=self.sample,
         )
 
     def run(self, workload: str) -> SimStats:
@@ -140,7 +156,10 @@ class Session:
         """A batch of workloads, fanned out over ``jobs`` with caching."""
         spec = self.spec()
         tasks = [(w, spec, self.length, self.seed) for w in workloads]
-        return run_simulations(tasks, jobs=self.jobs, cache=self.cache)
+        return run_simulations(
+            tasks, jobs=self.jobs, cache=self.cache,
+            checkpoints=self.checkpoints,
+        )
 
     def compare(
         self,

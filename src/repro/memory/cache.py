@@ -126,6 +126,38 @@ class Cache:
         self.hits = 0
         self.misses = 0
 
+    def snapshot(self) -> dict:
+        """Serialize contents and counters to a versioned picklable dict.
+
+        Dict insertion order *is* the LRU order, so each set serializes as
+        its list of tags oldest-first; restoring re-inserts in that order
+        and recovers the exact replacement state.
+        """
+        return {
+            "version": 1,
+            "geometry": [self.size_bytes, self.assoc, self.line_size],
+            "sets": [list(cset) for cset in self._sets],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def restore(self, data: dict) -> None:
+        """Restore from a :meth:`snapshot` payload (geometry must match)."""
+        if data.get("version") != 1:
+            raise ValueError(
+                f"unsupported Cache snapshot version: {data.get('version')!r}"
+            )
+        if list(data["geometry"]) != [self.size_bytes, self.assoc, self.line_size]:
+            raise ValueError(
+                f"Cache snapshot geometry {data['geometry']} does not match "
+                f"{self.name} ({self.size_bytes}B {self.assoc}-way "
+                f"{self.line_size}B lines)"
+            )
+        self._sets = [dict.fromkeys(lines) for lines in data["sets"]]
+        self._lines = sum(len(s) for s in self._sets)
+        self.hits = data["hits"]
+        self.misses = data["misses"]
+
     def __repr__(self) -> str:
         return (
             f"Cache({self.name}, {self.size_bytes // 1024}KB, "

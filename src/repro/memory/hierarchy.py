@@ -191,6 +191,41 @@ class MemoryHierarchy:
                 self.l2.insert(addr)
             self.l1.insert(addr)
 
+    def warm_access(self, addr: int, pc: int) -> None:
+        """Functional (timing-free) load used by warmup fast-forward.
+
+        Moves contents, LRU state and the prefetcher exactly as a demand
+        load would, but skips the MSHR and in-flight bookkeeping — those
+        model *when* fills land, which is meaningless while no clock is
+        running.  All component times are taken at cycle 0, so any stream
+        prefetches issued during warmup appear as (deterministically)
+        in-flight fills when the timed region starts.
+        """
+        self.accesses += 1
+        l1 = self.l1
+        if l1.lookup(addr):
+            self.level_counts[MemLevel.L1] += 1
+            return
+        if self.prefetcher is not None:
+            if self.prefetcher.lookup(addr, 0) is not None:
+                l1.insert(addr)
+                self.level_counts[MemLevel.STREAM] += 1
+                return
+            self.prefetcher.train(pc, addr, 0)
+        if self.l2.lookup(addr):
+            l1.insert(addr)
+            self.level_counts[MemLevel.L2] += 1
+            return
+        if self.l3.lookup(addr):
+            l1.insert(addr)
+            self.l2.insert(addr)
+            self.level_counts[MemLevel.L3] += 1
+            return
+        l1.insert(addr)
+        self.l2.insert(addr)
+        self.l3.insert(addr)
+        self.level_counts[MemLevel.MEMORY] += 1
+
     def probe_level(self, addr: int) -> MemLevel:
         """Non-destructive check of where ``addr`` would currently hit.
 
@@ -211,3 +246,46 @@ class MemoryHierarchy:
         self.level_counts = {level: 0 for level in MemLevel}
         for cache in (self.l1, self.l2, self.l3):
             cache.reset_stats()
+
+    def snapshot(self) -> dict:
+        """Serialize caches, prefetcher, MSHR/in-flight state and counters."""
+        return {
+            "version": 1,
+            "l1": self.l1.snapshot(),
+            "l2": self.l2.snapshot(),
+            "l3": self.l3.snapshot(),
+            "prefetcher": (
+                None if self.prefetcher is None else self.prefetcher.snapshot()
+            ),
+            "mshr_heap": list(self._mshr_heap),
+            "inflight": [[ln, t] for ln, t in self._inflight.items()],
+            "prune_threshold": self._prune_threshold,
+            "accesses": self.accesses,
+            "mshr_stalls": self.mshr_stalls,
+            "level_counts": {int(lv): n for lv, n in self.level_counts.items()},
+        }
+
+    def restore(self, data: dict) -> None:
+        """Restore from a :meth:`snapshot` payload (same shape hierarchy)."""
+        if data.get("version") != 1:
+            raise ValueError(
+                f"unsupported MemoryHierarchy snapshot version: "
+                f"{data.get('version')!r}"
+            )
+        if (data["prefetcher"] is None) != (self.prefetcher is None):
+            raise ValueError(
+                "MemoryHierarchy snapshot prefetcher presence mismatch"
+            )
+        self.l1.restore(data["l1"])
+        self.l2.restore(data["l2"])
+        self.l3.restore(data["l3"])
+        if self.prefetcher is not None:
+            self.prefetcher.restore(data["prefetcher"])
+        self._mshr_heap = list(data["mshr_heap"])
+        self._inflight = {ln: t for ln, t in data["inflight"]}
+        self._prune_threshold = data["prune_threshold"]
+        self.accesses = data["accesses"]
+        self.mshr_stalls = data["mshr_stalls"]
+        self.level_counts = {
+            MemLevel(int(lv)): n for lv, n in data["level_counts"].items()
+        }

@@ -263,6 +263,59 @@ class StridePrefetcher:
         if not self._covered(reg[0] + 1):
             self._allocate(tag, 1, reg[0] + 1, now)
 
+    def reset_stats(self) -> None:
+        """Zero all counters, keeping streams and training state."""
+        self.trains = 0
+        self.allocations = 0
+        self.stream_hits = 0
+        self.mistrains = 0
+
+    def snapshot(self) -> dict:
+        """Serialize training tables, streams and counters (versioned)."""
+        return {
+            "version": 1,
+            "table_entries": self.table_entries,
+            "table": [None if e is None else list(e) for e in self._table],
+            "regions": [[r, list(v)] for r, v in self._regions.items()],
+            "streams": [
+                {
+                    "tag": sb.tag,
+                    "stride_lines": sb.stride_lines,
+                    "next_line": sb.next_line,
+                    "entries": [[ln, t] for ln, t in sb.entries.items()],
+                    "last_use": sb.last_use,
+                }
+                for sb in self._streams
+            ],
+            "trains": self.trains,
+            "allocations": self.allocations,
+            "stream_hits": self.stream_hits,
+            "mistrains": self.mistrains,
+        }
+
+    def restore(self, data: dict) -> None:
+        """Restore from a :meth:`snapshot` payload (same table size)."""
+        if data.get("version") != 1:
+            raise ValueError(
+                f"unsupported StridePrefetcher snapshot version: "
+                f"{data.get('version')!r}"
+            )
+        if data["table_entries"] != self.table_entries:
+            raise ValueError("StridePrefetcher snapshot table size mismatch")
+        self._table = [None if e is None else list(e) for e in data["table"]]
+        self._regions = {r: list(v) for r, v in data["regions"]}
+        streams = []
+        for s in data["streams"]:
+            sb = StreamBuffer(s["tag"], s["stride_lines"], s["next_line"])
+            sb.entries = {ln: t for ln, t in s["entries"]}
+            sb.last_use = s["last_use"]
+            streams.append(sb)
+        self._streams = streams
+        self.trains = data["trains"]
+        self.allocations = data["allocations"]
+        self.stream_hits = data["stream_hits"]
+        self.mistrains = data["mistrains"]
+
     @property
     def active_streams(self) -> int:
         """Number of stream buffers currently allocated."""

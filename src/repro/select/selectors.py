@@ -66,6 +66,35 @@ class LoadSelector:
                 (Section 5.1's third predictor) use this instead.
         """
 
+    def snapshot(self) -> dict:
+        """Serialize selector state to a versioned picklable dict."""
+        return {
+            "version": 1,
+            "kind": type(self).__name__,
+            "state": self._snapshot_state(),
+        }
+
+    def restore(self, data: dict) -> None:
+        """Restore from a :meth:`snapshot` payload of the same kind."""
+        if data.get("version") != 1:
+            raise ValueError(
+                f"unsupported LoadSelector snapshot version: "
+                f"{data.get('version')!r}"
+            )
+        if data.get("kind") != type(self).__name__:
+            raise ValueError(
+                f"selector snapshot is for {data.get('kind')!r}, "
+                f"not {type(self).__name__}"
+            )
+        self._restore_state(data["state"])
+
+    def _snapshot_state(self) -> dict:
+        """State contents for :meth:`snapshot`; stateless selectors: {}."""
+        return {}
+
+    def _restore_state(self, state: dict) -> None:
+        """Restore contents captured by :meth:`_snapshot_state`."""
+
 
 class AlwaysSelector(LoadSelector):
     """Predict every confident load; prefer MTVP whenever a context is free."""
@@ -108,7 +137,14 @@ class MissOracleSelector(LoadSelector):
 class _IlpEntry:
     """Per-PC forward-progress accumulators for each outcome class."""
 
-    __slots__ = ("instructions", "cycles", "samples", "episodes", "latency")
+    __slots__ = (
+        "instructions",
+        "cycles",
+        "samples",
+        "episodes",
+        "latency",
+        "optimistic",
+    )
 
     def __init__(self) -> None:
         self.instructions = [0, 0, 0]
@@ -119,6 +155,11 @@ class _IlpEntry:
         #: the paper's simplified criticality predictor ("merely predict
         #: the latency of the load", Section 3.1).  -1 until first sample.
         self.latency = -1
+        #: per-mode count of optimistic (pre-evidence) grants issued since
+        #: the mode's last resolved sample; bounds warmup optimism so
+        #: long-latency episodes cannot be granted without limit while the
+        #: first samples are still in flight
+        self.optimistic = [0, 0, 0]
 
 
 class IlpPredSelector(LoadSelector):
@@ -132,8 +173,14 @@ class IlpPredSelector(LoadSelector):
     largest integer power of two in the aggregate cycle count."
 
     Until a mode has ``warmup`` samples it is allowed optimistically, so
-    the table can learn (the paper's counters likewise start permissive),
-    and every ``explore_period``-th episode per PC deliberately makes no
+    the table can learn (the paper's counters likewise start permissive).
+    Optimism is *bounded*: samples only land when an episode resolves,
+    which for a thread spawn is hundreds of cycles after the grant, so an
+    unbounded "samples < warmup → allow" rule would keep granting expensive
+    speculative work on pure hope for as long as results are in flight.
+    At most ``max_optimistic_grants`` grants per mode may be outstanding
+    ahead of the evidence; each resolved sample resets the allowance.
+    Every ``explore_period``-th episode per PC deliberately makes no
     prediction so the no-prediction baseline keeps fresh samples — without
     that, a PC whose loads always predict confidently would never measure
     what "no value prediction" is worth.
@@ -146,15 +193,19 @@ class IlpPredSelector(LoadSelector):
         explore_period: int = 16,
         stvp_min_latency: int = 6,
         mtvp_min_latency: int = 300,
+        max_optimistic_grants: int = 16,
     ) -> None:
         if entries & (entries - 1):
             raise ValueError("entries must be a power of two")
         if explore_period < 2:
             raise ValueError("explore_period must be at least 2")
+        if max_optimistic_grants < 1:
+            raise ValueError("max_optimistic_grants must be at least 1")
         self._table: dict[int, _IlpEntry] = {}
         self._entries = entries
         self.warmup = warmup
         self.explore_period = explore_period
+        self.max_optimistic_grants = max_optimistic_grants
         #: criticality thresholds (Section 3.1: the critical path predictor
         #: is simplified to a latency predictor): a load whose learned
         #: latency cannot repay the recovery/spawn overhead is not worth
@@ -199,6 +250,9 @@ class IlpPredSelector(LoadSelector):
             return PredictionKind.NONE
 
         latency_known = entry.latency >= 0
+        # grants made on hope rather than evidence this call, per mode;
+        # only the mode actually chosen consumes optimism allowance
+        optimism = [False, False, False]
 
         def allowed(kind: PredictionKind) -> bool:
             # criticality gate: the learned load latency must repay the
@@ -206,7 +260,12 @@ class IlpPredSelector(LoadSelector):
             # Until a latency sample exists, a thread spawn is not risked
             # (STVP measures the latency cheaply on the first episodes).
             if not latency_known:
-                return kind is not PredictionKind.MTVP
+                if kind is PredictionKind.MTVP:
+                    return False
+                if entry.optimistic[kind] >= self.max_optimistic_grants:
+                    return False
+                optimism[kind] = True
+                return True
             floor = (
                 self.mtvp_min_latency
                 if kind is PredictionKind.MTVP
@@ -214,9 +273,16 @@ class IlpPredSelector(LoadSelector):
             )
             if entry.latency < floor:
                 return False
-            if entry.samples[kind] < self.warmup:
-                return True
-            if entry.samples[PredictionKind.NONE] < 1:
+            if (
+                entry.samples[kind] < self.warmup
+                or entry.samples[PredictionKind.NONE] < 1
+            ):
+                # pre-evidence optimism, bounded: in-flight episodes have
+                # not sampled yet, so without the cap a slow mode would be
+                # granted indefinitely before its first result lands
+                if entry.optimistic[kind] >= self.max_optimistic_grants:
+                    return False
+                optimism[kind] = True
                 return True
             # progress-rate comparison, exact via cross-multiplication.
             # (The paper sketches a shift-based approximate divide for the
@@ -231,9 +297,13 @@ class IlpPredSelector(LoadSelector):
             return i_k * c_n > i_n * c_k
 
         if spawn_available and allowed(PredictionKind.MTVP):
+            if optimism[PredictionKind.MTVP]:
+                entry.optimistic[PredictionKind.MTVP] += 1
             self.decisions[PredictionKind.MTVP] += 1
             return PredictionKind.MTVP
         if allowed(PredictionKind.STVP):
+            if optimism[PredictionKind.STVP]:
+                entry.optimistic[PredictionKind.STVP] += 1
             self.decisions[PredictionKind.STVP] += 1
             return PredictionKind.STVP
         self.decisions[PredictionKind.NONE] += 1
@@ -253,6 +323,8 @@ class IlpPredSelector(LoadSelector):
         entry.instructions[kind] += self._progress(instructions, committed)
         entry.cycles[kind] += cycles
         entry.samples[kind] += 1
+        # evidence arrived: refill this mode's optimism allowance
+        entry.optimistic[kind] = 0
         # episode length tracks the load's latency; quarter-weight EWMA
         if entry.latency < 0:
             entry.latency = cycles
@@ -268,6 +340,41 @@ class IlpPredSelector(LoadSelector):
     def _progress(instructions: int, committed: int | None) -> int:
         """Which progress metric an episode contributes (fetched here)."""
         return instructions
+
+    def _snapshot_state(self) -> dict:
+        return {
+            "table": [
+                [
+                    key,
+                    list(e.instructions),
+                    list(e.cycles),
+                    list(e.samples),
+                    e.episodes,
+                    e.latency,
+                    list(e.optimistic),
+                ]
+                for key, e in self._table.items()
+            ],
+            "decisions": {int(k): v for k, v in self.decisions.items()},
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        table: dict[int, _IlpEntry] = {}
+        for key, instructions, cycles, samples, episodes, latency, optimistic in state[
+            "table"
+        ]:
+            entry = _IlpEntry()
+            entry.instructions = list(instructions)
+            entry.cycles = list(cycles)
+            entry.samples = list(samples)
+            entry.episodes = episodes
+            entry.latency = latency
+            entry.optimistic = list(optimistic)
+            table[key] = entry
+        self._table = table
+        self.decisions = {
+            PredictionKind(int(k)): v for k, v in state["decisions"].items()
+        }
 
 
 class IlpCommitSelector(IlpPredSelector):

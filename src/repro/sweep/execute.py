@@ -107,6 +107,7 @@ def run_sweep(
     retries: int | None = None,
     max_points: int | None = None,
     chunk: int | None = None,
+    checkpoints=None,
     echo=None,
 ) -> CampaignSummary:
     """Run (or resume) a sweep campaign; see the module docstring.
@@ -124,11 +125,20 @@ def run_sweep(
         max_points: Truncate the expansion to its first N points.
         chunk: Tasks per commit batch (default scales with ``jobs``);
             smaller chunks tighten the resume granularity.
+        checkpoints: Warmup-checkpoint store for campaigns with
+            ``spec.warmup`` set (see
+            :func:`~repro.harness.checkpoint.resolve_checkpoints`): the
+            first point pays the functional fast-forward, every later
+            point sharing its architectural axes restores it.  Hit/store
+            counts are echoed with the summary.
         echo: Optional ``print``-like progress callback.
     """
+    from repro.harness.checkpoint import resolve_checkpoints
+
     say = echo if echo is not None else (lambda *_: None)
     if retries is None:
         retries = spec.retries
+    ckpt_store = resolve_checkpoints(checkpoints) if spec.warmup else None
     rows = campaign_rows(spec, max_points)
     inserted = store.ensure(spec.name, rows)
     mine = {(r["point_id"], r["seed"]) for r in rows}
@@ -161,7 +171,12 @@ def run_sweep(
                 key = (row["point_id"], row["seed"])
                 params = json.loads(row["params"])
                 try:
-                    run_spec = run_spec_for(params, name=row["point_id"][:8])
+                    run_spec = run_spec_for(
+                        params,
+                        name=row["point_id"][:8],
+                        warmup=spec.warmup,
+                        sample=spec.sample,
+                    )
                 except Exception as exc:  # bad recipe (unknown predictor, ...)
                     store.mark_running(spec.name, [key])
                     store.mark_failed(
@@ -176,7 +191,8 @@ def run_sweep(
             retried += sum(1 for _, row, _ in buildable if row["attempts"] > 0)
             store.mark_running(spec.name, [key for key, _, _ in buildable])
             outcomes = run_simulations(
-                tasks, jobs=jobs, cache=cache, on_error="collect"
+                tasks, jobs=jobs, cache=cache, on_error="collect",
+                checkpoints=ckpt_store if ckpt_store is not None else False,
             )
             version = code_version()
             for (key, row, run_spec), outcome in zip(buildable, outcomes):
@@ -215,5 +231,12 @@ def run_sweep(
         skipped=initially_done,
         retried=retried,
     )
+    if ckpt_store is not None:
+        # in-process traffic only: with jobs > 1 the workers hold their
+        # own counters, so run serial campaigns to audit checkpoint reuse
+        say(
+            f"{spec.name}: warmup checkpoints: {ckpt_store.hits} restored, "
+            f"{ckpt_store.stores} stored"
+        )
     say(summary.format())
     return summary

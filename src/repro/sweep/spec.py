@@ -149,13 +149,20 @@ class SweepPoint:
         return f"{self.workload}@{self.length} " + " ".join(parts)
 
 
-def run_spec_for(params: dict, name: str = "sweep") -> RunSpec:
+def run_spec_for(
+    params: dict,
+    name: str = "sweep",
+    warmup: int = 0,
+    sample: int | None = None,
+) -> RunSpec:
     """Build the :class:`RunSpec` a recipe dict describes.
 
     The returned spec's factories are picklable (process pool) and
     registry-describable (result cache): the config factory is a
     ``functools.partial`` over a :class:`MachineConfig` preset
     classmethod, predictor/selector stay registry names.
+    ``warmup``/``sample`` are campaign-level interval-protocol settings
+    (see :class:`SweepSpec`), applied uniformly to every point.
     """
     machine = params.get("machine", "mtvp")
     if machine not in PRESETS:
@@ -187,6 +194,8 @@ def run_spec_for(params: dict, name: str = "sweep") -> RunSpec:
         factory,
         predictor_factory=params.get("predictor", "wang-franklin"),
         selector_factory=params.get("selector", "ilp-pred"),
+        warmup=warmup,
+        sample=sample,
     )
 
 
@@ -227,6 +236,13 @@ class SweepSpec:
             dropped before sampling.
         baseline: Recipe of the speedup denominator machine.
         retries: Default retry budget for failed points.
+        warmup: Instructions functionally fast-forwarded before every
+            point's timed region (0 = full-trace protocol).  Uniform
+            across the campaign — points and baselines alike — so one
+            architectural warmup checkpoint is shared by every point that
+            varies only timing axes.
+        sample: Measured-interval length overriding ``lengths`` for the
+            timed region when set (the warmup+sample protocol).
     """
 
     name: str
@@ -243,6 +259,8 @@ class SweepSpec:
         default_factory=lambda: {"machine": "baseline"}
     )
     retries: int = 1
+    warmup: int = 0
+    sample: int | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -251,6 +269,10 @@ class SweepSpec:
             raise SweepSpecError(f'mode must be "grid" or "random", not {self.mode!r}')
         if self.mode == "random" and self.samples < 1:
             raise SweepSpecError("random mode needs samples >= 1")
+        if self.warmup < 0:
+            raise SweepSpecError("warmup must be non-negative")
+        if self.sample is not None and self.sample < 1:
+            raise SweepSpecError("sample must be a positive length (or unset)")
         _check_keys(self.base, "base")
         _check_keys(self.baseline, "baseline")
         _check_keys(self.axes, "axis")

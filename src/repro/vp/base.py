@@ -75,6 +75,49 @@ class ValuePredictor:
         """
 
     # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Serialize accuracy counters and table state to a versioned dict.
+
+        Subclasses supply their table contents via :meth:`_snapshot_state`
+        / :meth:`_restore_state`; stateless predictors (the oracle) get
+        counter-only snapshots for free.
+        """
+        return {
+            "version": 1,
+            "kind": type(self).__name__,
+            "lookups": self.lookups,
+            "predictions": self.predictions,
+            "correct": self.correct,
+            "incorrect": self.incorrect,
+            "state": self._snapshot_state(),
+        }
+
+    def restore(self, data: dict) -> None:
+        """Restore from a :meth:`snapshot` payload of the same predictor kind."""
+        if data.get("version") != 1:
+            raise ValueError(
+                f"unsupported ValuePredictor snapshot version: "
+                f"{data.get('version')!r}"
+            )
+        if data.get("kind") != type(self).__name__:
+            raise ValueError(
+                f"predictor snapshot is for {data.get('kind')!r}, "
+                f"not {type(self).__name__}"
+            )
+        self.lookups = data["lookups"]
+        self.predictions = data["predictions"]
+        self.correct = data["correct"]
+        self.incorrect = data["incorrect"]
+        self._restore_state(data["state"])
+
+    def _snapshot_state(self) -> dict:
+        """Table contents for :meth:`snapshot`; stateless predictors: {}."""
+        return {}
+
+    def _restore_state(self, state: dict) -> None:
+        """Restore table contents captured by :meth:`_snapshot_state`."""
+
+    # ------------------------------------------------------------------
     def record_outcome(self, was_correct: bool) -> None:
         """Book-keeping helper the engine calls when a used prediction resolves."""
         self.predictions += 1

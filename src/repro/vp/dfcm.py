@@ -160,3 +160,30 @@ class DfcmPredictor(ValuePredictor):
         entry.strides = entry.strides[1:] + [stride]
         entry.last_committed = actual
         entry.last_value = actual
+
+    def _snapshot_state(self) -> dict:
+        return {
+            "l1": [
+                None
+                if e is None
+                else [e.pc, e.last_value, e.last_committed, list(e.strides)]
+                for e in self._l1
+            ],
+            "l2": [None if e is None else list(e) for e in self._l2],
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        if len(state["l1"]) != len(self._l1) or len(state["l2"]) != len(self._l2):
+            raise ValueError("DfcmPredictor snapshot table size mismatch")
+        l1: list[_DfcmLevel1 | None] = []
+        for e in state["l1"]:
+            if e is None:
+                l1.append(None)
+                continue
+            entry = _DfcmLevel1(e[0], self.order)
+            entry.last_value = e[1]
+            entry.last_committed = e[2]
+            entry.strides = list(e[3])
+            l1.append(entry)
+        self._l1 = l1
+        self._l2 = [None if e is None else list(e) for e in state["l2"]]

@@ -60,6 +60,17 @@ class LastValuePredictor(ValuePredictor):
             entry[1] = actual
             entry[2] = 0
 
+    def _snapshot_state(self) -> dict:
+        return {
+            "table": [None if e is None else list(e) for e in self._table],
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        table = state["table"]
+        if len(table) != self.entries:
+            raise ValueError("LastValuePredictor snapshot table size mismatch")
+        self._table = [None if e is None else list(e) for e in table]
+
 
 class StridePredictor(ValuePredictor):
     """Predicts ``last_value + stride`` per static load.
@@ -115,3 +126,14 @@ class StridePredictor(ValuePredictor):
             entry[3] = 0
         entry[1] = actual
         entry[4] = actual
+
+    def _snapshot_state(self) -> dict:
+        return {
+            "table": [None if e is None else list(e) for e in self._table],
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        table = state["table"]
+        if len(table) != self.entries:
+            raise ValueError("StridePredictor snapshot table size mismatch")
+        self._table = [None if e is None else list(e) for e in table]

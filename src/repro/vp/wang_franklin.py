@@ -224,3 +224,42 @@ class WangFranklinPredictor(ValuePredictor):
         entry.stride = (actual - entry.last_committed) & _MASK64
         entry.last_committed = actual
         entry.last_value = actual
+
+    def _snapshot_state(self) -> dict:
+        return {
+            "vht": [
+                None
+                if e is None
+                else [
+                    e.pc,
+                    list(e.values),
+                    e.last_value,
+                    e.last_committed,
+                    e.stride,
+                    e.pattern,
+                ]
+                for e in self._vht
+            ],
+            "valpht": [None if v is None else list(v) for v in self._valpht],
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        if (
+            len(state["vht"]) != len(self._vht)
+            or len(state["valpht"]) != len(self._valpht)
+        ):
+            raise ValueError("WangFranklinPredictor snapshot table size mismatch")
+        vht: list[_VhtEntry | None] = []
+        for e in state["vht"]:
+            if e is None:
+                vht.append(None)
+                continue
+            entry = _VhtEntry(e[0])
+            entry.values = list(e[1])
+            entry.last_value = e[2]
+            entry.last_committed = e[3]
+            entry.stride = e[4]
+            entry.pattern = e[5]
+            vht.append(entry)
+        self._vht = vht
+        self._valpht = [None if v is None else list(v) for v in state["valpht"]]

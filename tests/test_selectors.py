@@ -146,3 +146,77 @@ class TestIlpPredProgressComparison:
         s.choose(a_load(), True)
         total = sum(s.decisions.values())
         assert total == 1
+
+
+class TestBoundedOptimism:
+    """Regression: pre-evidence ("warmup") grants must be clamped.
+
+    Before the clamp, a PC whose episodes never resolved (e.g. a long
+    MTVP spawn chain) was granted prediction indefinitely under the
+    ``samples < warmup`` rule — unbounded optimism.  Now at most
+    ``max_optimistic_grants`` grants per mode may be outstanding ahead of
+    the evidence, and every resolved sample refills the allowance.
+    """
+
+    def test_unknown_latency_stvp_grants_are_bounded(self):
+        s = IlpPredSelector(max_optimistic_grants=2, explore_period=1000)
+        pc = 0x4000
+        granted = []
+        for episode in range(10):
+            kind = s.choose(a_load(pc), spawn_available=False)
+            granted.append(kind)
+        # episode 2 is the front-loaded baseline probe; besides it, only
+        # max_optimistic_grants STVP grants may happen with zero evidence
+        assert granted.count(PredictionKind.STVP) == 2
+        assert granted[3:] == [PredictionKind.NONE] * 7
+
+    def test_resolved_sample_refills_the_allowance(self):
+        s = IlpPredSelector(max_optimistic_grants=1, explore_period=1000)
+        pc = 0x4000
+        s.choose(a_load(pc), spawn_available=False)  # optimistic grant 1
+        assert (
+            s.choose(a_load(pc), spawn_available=False)
+            is PredictionKind.NONE
+        )  # episode-2 baseline probe
+        assert (
+            s.choose(a_load(pc), spawn_available=False)
+            is PredictionKind.NONE
+        )  # allowance exhausted
+        # evidence lands: a fast STVP episode and a NONE baseline
+        s.record(pc, PredictionKind.STVP, instructions=400, cycles=10)
+        s.record(pc, PredictionKind.NONE, instructions=100, cycles=10)
+        assert (
+            s.choose(a_load(pc), spawn_available=False)
+            is PredictionKind.STVP
+        )
+
+    def test_mtvp_warmup_optimism_is_bounded(self):
+        s = IlpPredSelector(max_optimistic_grants=3, explore_period=1000)
+        pc = 0x8000
+        # teach the PC a latency worth a spawn, but never resolve any
+        # MTVP episode: grants must dry up at the bound
+        s.record(pc, PredictionKind.NONE, instructions=100, cycles=500)
+        grants = [
+            s.choose(a_load(pc), spawn_available=True) for _ in range(12)
+        ]
+        assert grants.count(PredictionKind.MTVP) == 3
+        # once MTVP and STVP optimism is spent, the selector declines
+        assert grants[-1] is PredictionKind.NONE
+
+    def test_bound_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            IlpPredSelector(max_optimistic_grants=0)
+
+    def test_optimism_counters_survive_snapshot(self):
+        s = IlpPredSelector(max_optimistic_grants=1, explore_period=1000)
+        pc = 0x4000
+        s.choose(a_load(pc), spawn_available=False)  # consume the allowance
+        clone = IlpPredSelector(max_optimistic_grants=1, explore_period=1000)
+        clone.restore(s.snapshot())
+        clone._entry(pc).episodes = s._entry(pc).episodes
+        assert (
+            clone.choose(a_load(pc), spawn_available=False)
+            is not PredictionKind.STVP
+        )

@@ -483,3 +483,67 @@ class TestSweepCLI:
         assert main(["sweep", "report", str(spec_path),
                      "--db", str(tmp_path / "empty.db")]) == 1
         assert "no results" in capsys.readouterr().out
+
+
+class TestWarmupSweep:
+    """The campaign-level warmup/sample protocol and checkpoint reuse."""
+
+    def test_protocol_fields_validate(self):
+        with pytest.raises(SweepSpecError):
+            mini_spec(warmup=-1)
+        with pytest.raises(SweepSpecError):
+            mini_spec(sample=0)
+
+    def test_protocol_fields_survive_serialization(self, tmp_path):
+        spec = mini_spec(warmup=1000, sample=400)
+        jpath = tmp_path / "warm.json"
+        spec.to_json(jpath)
+        clone = load_spec(jpath)
+        assert clone.warmup == 1000 and clone.sample == 400
+
+    def test_protocol_is_campaign_level_not_a_point_axis(self):
+        # a warmed campaign must keep the point ids of the cold one, or
+        # result stores could never be compared across protocols
+        cold = [p.point_id for p in mini_spec().expand()]
+        warm = [p.point_id for p in mini_spec(warmup=1000, sample=400).expand()]
+        assert cold == warm
+
+    def test_toml_accepts_warmup_keys(self, tmp_path):
+        path = tmp_path / "warm.toml"
+        path.write_text(TOML.replace(
+            'seeds = 2', 'seeds = 2\nwarmup = 1000\nsample = 400'
+        ))
+        spec = load_spec(path)
+        assert spec.warmup == 1000 and spec.sample == 400
+
+    def test_warmed_campaign_reuses_one_checkpoint(self, tmp_path):
+        from repro.harness import CheckpointStore
+        from repro.sweep import ResultStore
+
+        # the baseline must name the same predictor as the points: warmed
+        # predictor tables are architectural state, so a differing one
+        # would (correctly) mint its own checkpoint
+        spec = mini_spec(
+            seeds=(0,), warmup=1000, sample=300,
+            baseline={"machine": "baseline", "predictor": "oracle"},
+        )
+        store = ResultStore(tmp_path / "warm.db")
+        ckpts = CheckpointStore(tmp_path / "ckpt")
+        summary = run_sweep(spec, store, cache=False, checkpoints=ckpts)
+        # 2 points + 1 baseline, all sharing one warmed arch state: the
+        # store-buffer axis (and the baseline's machine knobs) are timing
+        # state, invisible to functional warmup
+        assert summary.total == 3 and summary.complete
+        assert ckpts.stores == 1 and ckpts.hits == 2
+        assert len(ckpts) == 1
+
+    def test_warmed_rows_shrink_to_the_sample(self, tmp_path):
+        from repro.sweep import ResultStore
+
+        spec = mini_spec(seeds=(0,), warmup=1000, sample=300)
+        store = ResultStore(tmp_path / "warm.db")
+        run_sweep(spec, store, cache=False)
+        for row in store.rows(spec.name):
+            stats = json.loads(row["stats"])
+            assert stats["warmup_instructions"] == 1000
+            assert stats["instructions_stepped"] >= 300
