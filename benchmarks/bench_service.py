@@ -1,0 +1,278 @@
+#!/usr/bin/env python
+"""Load-test the campaign server and refresh ``BENCH_service.json``.
+
+Boots an in-process :class:`~repro.serve.app.CampaignServer` (ephemeral
+port, private state directory), then measures the two numbers the
+service exists for:
+
+* **control-plane throughput** — requests/sec for the cheap read
+  endpoints (``/healthz``, ``/stats``, ``/jobs``) and for dedup-hitting
+  resubmissions of an already-finished job, each hammered from several
+  concurrent client threads;
+* **cache-hit latency** — wall time for a run submission whose
+  ``(point, seed)`` simulation already sits in the shared
+  :class:`~repro.harness.cache.ResultCache`, measured submit→done
+  end-to-end through the HTTP surface and the job queue.
+
+Also records the exactly-once economics of a small concurrent campaign:
+``clients`` threads all submit the same sweep; the record proves one
+simulation per ``(point, seed)`` by counting cache stores and simulated
+tasks server-side.
+
+Non-gating by default (shared-CI wall clock is noisy); the e2e test
+suite holds the *correctness* properties.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --quick --no-write
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import (  # noqa: E402  (path bootstrap above)
+    BackgroundServer,
+    CampaignClient,
+    CampaignServer,
+)
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_service.json"
+
+
+def hammer(base_url: str, path_for, seconds: float, threads: int) -> dict:
+    """``threads`` clients hit ``path_for(client, i)`` for ``seconds``.
+
+    Returns requests/sec plus latency percentiles over all requests.
+    """
+    latencies: list[float] = []
+    count = 0
+    lock = threading.Lock()
+    deadline = time.perf_counter() + seconds
+
+    def worker() -> None:
+        nonlocal count
+        client = CampaignClient(base_url, timeout=30.0)
+        local: list[float] = []
+        n = 0
+        i = 0
+        while time.perf_counter() < deadline:
+            t0 = time.perf_counter()
+            path_for(client, i)
+            local.append(time.perf_counter() - t0)
+            n += 1
+            i += 1
+        with lock:
+            latencies.extend(local)
+            count += n
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    latencies.sort()
+    return {
+        "requests": count,
+        "seconds": round(seconds, 3),
+        "rps": round(count / seconds, 1),
+        "threads": threads,
+        "latency_ms": {
+            "p50": round(1e3 * statistics.median(latencies), 3),
+            "p95": round(1e3 * latencies[int(0.95 * (len(latencies) - 1))], 3),
+            "max": round(1e3 * latencies[-1], 3),
+        } if latencies else None,
+    }
+
+
+def cache_hit_latency(
+    warm_client: CampaignClient, state: str, payload: dict, samples: int
+) -> dict:
+    """Submit→done wall time for already-cached runs, through a fresh server.
+
+    The warming pass simulates ``samples`` seeds through one server; the
+    timing pass submits the *same* payloads to a **second** server
+    sharing the same :class:`~repro.harness.cache.ResultCache` directory.
+    The second server has no jobs, so every submission is a genuinely
+    new job that rides the full queue → worker → cache path — measuring
+    the real end-to-end latency a new client pays for work the service
+    has already done (job-digest dedup, the faster path, is measured
+    separately).
+    """
+    for i in range(samples):
+        ack = warm_client.submit_run(dict(payload, seed=i))
+        warm_client.wait(ack["job"], timeout=300.0)
+    times: list[float] = []
+    fresh = CampaignServer(
+        state_dir=Path(state) / "hit-timing", cache=Path(state) / "cache",
+        workers=2,
+    )
+    with BackgroundServer(fresh) as bg:
+        client = CampaignClient(bg.url, timeout=300.0)
+        for i in range(samples):
+            t0 = time.perf_counter()
+            ack = client.submit_run(dict(payload, seed=i))
+            snapshot = client.wait(ack["job"], timeout=300.0, poll=0.01)
+            times.append(time.perf_counter() - t0)
+            assert snapshot["status"] == "done", snapshot
+            assert snapshot["result"]["cached"], "expected a cache hit"
+        timing_cache = client.stats()["cache"]
+    times.sort()
+    return {
+        "samples": samples,
+        "p50_ms": round(1e3 * statistics.median(times), 3),
+        "max_ms": round(1e3 * times[-1], 3),
+        "hits": timing_cache["hits"],
+        "misses": timing_cache["misses"],
+    }
+
+
+def concurrent_sweep(base_url: str, spec: dict, clients: int) -> dict:
+    """``clients`` threads submit the same sweep; returns dedup evidence."""
+    acks: list[dict] = []
+    lock = threading.Lock()
+
+    def submit() -> None:
+        client = CampaignClient(base_url, timeout=600.0)
+        ack = client.submit_sweep({"spec": spec})
+        with lock:
+            acks.append(ack)
+
+    pool = [threading.Thread(target=submit) for _ in range(clients)]
+    t0 = time.perf_counter()
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    client = CampaignClient(base_url, timeout=600.0)
+    job_ids = {ack["job"] for ack in acks}
+    assert len(job_ids) == 1, f"expected one coalesced job, got {job_ids}"
+    job_id = job_ids.pop()
+    snapshot = client.wait(job_id, timeout=600.0)
+    wall = time.perf_counter() - t0
+    reports = {client.report(job_id) for _ in range(clients)}
+    return {
+        "clients": clients,
+        "job": job_id,
+        "status": snapshot["status"],
+        "coalesced_jobs": 1,
+        "identical_reports": len(reports) == 1,
+        "wall_seconds": round(wall, 3),
+        "partial": snapshot.get("partial"),
+    }
+
+
+def run_bench(quick: bool) -> dict:
+    length = 1500 if quick else 4000
+    seconds = 1.0 if quick else 3.0
+    threads = 4
+    samples = 3 if quick else 8
+    state = tempfile.mkdtemp(prefix="bench-service-")
+    server = CampaignServer(state_dir=state, workers=2)
+    with BackgroundServer(server) as bg:
+        client = CampaignClient(bg.url, timeout=600.0)
+
+        reads = hammer(
+            bg.url, lambda c, i: c.health(), seconds=seconds, threads=threads
+        )
+        stats_reads = hammer(
+            bg.url, lambda c, i: c.stats(), seconds=seconds, threads=threads
+        )
+
+        run_payload = {"workload": "mcf", "length": length}
+        hit = cache_hit_latency(client, state, run_payload, samples=samples)
+
+        # dedup-path throughput: resubmitting a finished job's payload is
+        # answered from the digest map without touching the queue
+        ack = client.submit_run(dict(run_payload, seed=0))
+        client.wait(ack["job"], timeout=300.0)
+        dedup = hammer(
+            bg.url,
+            lambda c, i: c.submit_run(dict(run_payload, seed=0)),
+            seconds=seconds,
+            threads=threads,
+        )
+
+        spec = {
+            "name": "bench-service",
+            "axes": {"threads": [2, 4]},
+            "base": {"machine": "mtvp"},
+            "workloads": ["mcf"],
+            "seeds": [0],
+            "lengths": [length],
+        }
+        sweep = concurrent_sweep(bg.url, spec, clients=3)
+
+        server_stats = client.stats()
+
+    return {
+        "benchmark": "campaign-service",
+        "quick": quick,
+        "config": {
+            "length": length,
+            "workers": 2,
+            "hammer_threads": threads,
+            "hammer_seconds": seconds,
+        },
+        "reads_rps": reads,
+        "stats_rps": stats_reads,
+        "dedup_submit_rps": dedup,
+        "cache_hit_latency": hit,
+        "concurrent_sweep": sweep,
+        "server": {
+            "requests": server_stats["requests"],
+            "jobs": server_stats["jobs"],
+            "cache": server_stats["cache"],
+        },
+    }
+
+
+def format_bench(record: dict) -> str:
+    lines = [
+        f"campaign service bench ({'quick' if record['quick'] else 'full'}):",
+        f"  /healthz            {record['reads_rps']['rps']:>9} req/s "
+        f"(p50 {record['reads_rps']['latency_ms']['p50']} ms)",
+        f"  /stats              {record['stats_rps']['rps']:>9} req/s "
+        f"(p50 {record['stats_rps']['latency_ms']['p50']} ms)",
+        f"  dedup resubmit      {record['dedup_submit_rps']['rps']:>9} req/s "
+        f"(p50 {record['dedup_submit_rps']['latency_ms']['p50']} ms)",
+        f"  cache-hit run       p50 {record['cache_hit_latency']['p50_ms']} ms "
+        f"submit->done ({record['cache_hit_latency']['samples']} samples)",
+        f"  3-client sweep      {record['concurrent_sweep']['status']} in "
+        f"{record['concurrent_sweep']['wall_seconds']} s, "
+        f"coalesced={record['concurrent_sweep']['coalesced_jobs']}, "
+        f"identical_reports={record['concurrent_sweep']['identical_reports']}",
+        f"  cache               {record['server']['cache']['stores']} stores, "
+        f"{record['server']['cache']['hits']} hits",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short hammer windows and small runs (CI)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="print results without rewriting the record")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    record = run_bench(quick=args.quick)
+    print(format_bench(record))
+    if not args.no_write:
+        args.output.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

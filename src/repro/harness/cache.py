@@ -33,6 +33,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -153,11 +154,18 @@ class ResultCache:
     Counters (``hits``/``misses``/``stores``) track this instance's
     traffic; tests use them to assert that repeated experiments trigger
     zero new simulations.
+
+    Safe to share between threads (the campaign server's workers all
+    front one cache) and between processes: entries land via atomic
+    rename, a vanished or truncated entry is a miss — corrupt files are
+    additionally deleted so the re-simulated result can take their place
+    — and the counters are updated under a lock.
     """
 
     def __init__(self, directory: str | Path | None = None) -> None:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._counter_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -168,22 +176,57 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` currently has an entry (no counter traffic)."""
+        return self._path(key).exists()
+
     def get(self, key: str) -> SimStats | None:
-        """Cached stats for ``key``, or None (corrupt entries count as misses)."""
+        """Cached stats for ``key``, or None (corrupt entries count as misses).
+
+        A concurrent pruner may unlink the entry between any two steps
+        here — that is an ordinary miss.  An entry that *exists* but does
+        not parse (truncated write from a killed process, disk
+        corruption) is also a miss, and is deleted so the key re-fills
+        cleanly instead of failing every future lookup.
+        """
         path = self._path(key)
         try:
-            data = json.loads(path.read_text())
-            stats = SimStats.from_dict(data["stats"])
-        except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
+            text = path.read_text()
+        except OSError:
+            with self._counter_lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        try:
+            stats = SimStats.from_dict(json.loads(text)["stats"])
+        except (ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            with self._counter_lock:
+                self.misses += 1
+            return None
+        with self._counter_lock:
+            self.hits += 1
         return stats
 
     def put(self, key: str, stats: SimStats) -> None:
-        """Store ``stats`` under ``key`` (atomic rename, last writer wins)."""
+        """Store ``stats`` under ``key`` (atomic rename, last writer wins).
+
+        Tolerates the cache directory itself disappearing underneath us
+        (an aggressive concurrent pruner): it is recreated and the write
+        retried once.
+        """
         payload = {"key": key, "stats": stats.to_dict()}
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        for attempt in (0, 1):
+            try:
+                fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            except FileNotFoundError:
+                if attempt:
+                    raise
+                self.directory.mkdir(parents=True, exist_ok=True)
+                continue
+            break
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle)
@@ -194,7 +237,8 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        self.stores += 1
+        with self._counter_lock:
+            self.stores += 1
 
     def prune(
         self,
@@ -236,6 +280,10 @@ class ResultCache:
             if not dry_run:
                 try:
                     path.unlink()
+                except FileNotFoundError:
+                    # a concurrent pruner (or clear()) beat us to it; the
+                    # bytes are gone either way, so count the eviction
+                    pass
                 except OSError:
                     return False
             removed += 1

@@ -32,6 +32,7 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 from pathlib import Path
 
 from repro.harness.cache import (
@@ -119,6 +120,7 @@ class CheckpointStore:
             Path(directory) if directory is not None else default_checkpoint_dir()
         )
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._counter_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -127,20 +129,48 @@ class CheckpointStore:
         return self.directory / f"{key}.ckpt"
 
     def get(self, key: str) -> dict | None:
-        """Cached arch snapshot for ``key``, or None (corrupt = miss)."""
+        """Cached arch snapshot for ``key``, or None (corrupt = miss).
+
+        A concurrently-removed file is an ordinary miss; a file that
+        exists but fails to unpickle (truncated by a killed writer) is a
+        miss *and* is deleted, so the slot re-warms cleanly instead of
+        poisoning every later run that keys to it.
+        """
+        path = self._path(key)
         try:
-            with self._path(key).open("rb") as handle:
+            with path.open("rb") as handle:
                 payload = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ValueError):
-            self.misses += 1
+        except OSError:
+            with self._counter_lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                IndexError, ValueError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            with self._counter_lock:
+                self.misses += 1
+            return None
+        with self._counter_lock:
+            self.hits += 1
         return payload
 
     def put(self, key: str, payload: dict) -> None:
-        """Store an arch snapshot under ``key`` (atomic rename)."""
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        """Store an arch snapshot under ``key`` (atomic rename).
+
+        Recreates the store directory if a concurrent cleaner removed it.
+        """
+        for attempt in (0, 1):
+            try:
+                fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            except FileNotFoundError:
+                if attempt:
+                    raise
+                self.directory.mkdir(parents=True, exist_ok=True)
+                continue
+            break
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
@@ -151,7 +181,8 @@ class CheckpointStore:
             except OSError:
                 pass
             raise
-        self.stores += 1
+        with self._counter_lock:
+            self.stores += 1
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.ckpt"))

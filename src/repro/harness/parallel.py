@@ -125,6 +125,7 @@ def run_simulations(
     cache=None,
     on_error: str = "raise",
     checkpoints=None,
+    progress=None,
 ) -> list[SimStats]:
     """Run every task, in parallel when ``jobs > 1``, consulting the cache.
 
@@ -140,6 +141,11 @@ def run_simulations(
         checkpoints: Warmup-checkpoint store for warmed specs (see
             :func:`~repro.harness.checkpoint.resolve_checkpoints`);
             ``None`` defers to ``$REPRO_CHECKPOINT_DIR``.
+        progress: Optional callback invoked as each task resolves with a
+            dict of ``workload``/``spec``/``length``/``seed``, ``source``
+            (``"cache"``, ``"sim"`` or ``"error"``) and the running
+            ``completed``/``total`` counts.  Exceptions it raises are
+            swallowed — progress reporting must never kill a batch.
 
     Returns:
         One :class:`SimStats` per task, in task order (or a
@@ -156,6 +162,26 @@ def run_simulations(
 
     results: list[SimStats | SimulationError | None] = [None] * len(tasks)
     keys: list[str | None] = [None] * len(tasks)
+    completed = 0
+
+    def report(indices: list[int], source: str) -> None:
+        nonlocal completed
+        completed += len(indices)
+        if progress is None:
+            return
+        workload_name, spec, length, seed = tasks[indices[0]]
+        try:
+            progress({
+                "workload": workload_name,
+                "spec": getattr(spec, "name", "?"),
+                "length": length,
+                "seed": seed,
+                "source": source,
+                "completed": completed,
+                "total": len(tasks),
+            })
+        except Exception:
+            pass
 
     def fail(indices: list[int], exc: BaseException) -> None:
         workload_name, spec, length, seed = tasks[indices[0]]
@@ -166,6 +192,7 @@ def run_simulations(
             raise error from exc
         for i in indices:
             results[i] = error
+        report(indices, "error")
 
     #: indices still needing a simulation, grouped so identical tasks
     #: (same key) run once and fan back out to every requesting index
@@ -188,6 +215,7 @@ def run_simulations(
             hit = cache_obj.get(key)
             if hit is not None:
                 results[i] = hit
+                report([i], "cache")
                 continue
         # uncacheable tasks get a unique group: no key to prove identity
         groups.setdefault(key if key is not None else ("#", i), []).append(i)
@@ -198,6 +226,7 @@ def run_simulations(
             cache_obj.put(key, stats)
         for i in indices:
             results[i] = stats
+        report(indices, "sim")
 
     pending = list(groups.values())
     if n_jobs > 1 and len(pending) > 1:

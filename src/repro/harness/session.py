@@ -152,13 +152,20 @@ class Session:
             )
         return self.run_many([workload])[0]
 
-    def run_many(self, workloads: Iterable[str]) -> list[SimStats]:
-        """A batch of workloads, fanned out over ``jobs`` with caching."""
+    def run_many(
+        self, workloads: Iterable[str], progress=None
+    ) -> list[SimStats]:
+        """A batch of workloads, fanned out over ``jobs`` with caching.
+
+        ``progress`` (optional) receives per-task completion dicts — see
+        :func:`~repro.harness.parallel.run_simulations`; the campaign
+        server streams these to clients as NDJSON events.
+        """
         spec = self.spec()
         tasks = [(w, spec, self.length, self.seed) for w in workloads]
         return run_simulations(
             tasks, jobs=self.jobs, cache=self.cache,
-            checkpoints=self.checkpoints,
+            checkpoints=self.checkpoints, progress=progress,
         )
 
     def compare(

@@ -1,0 +1,43 @@
+"""Simulation-as-a-service: an async campaign server over the harness.
+
+``repro serve`` turns the repository's simulation stack into a shared
+long-running service: clients POST run/sweep payloads over HTTP, a
+bounded worker pool executes them through the very same
+:class:`~repro.harness.Session` / :func:`~repro.sweep.run_sweep` paths
+the CLI uses, and one process-wide
+:class:`~repro.harness.cache.ResultCache` +
+:class:`~repro.harness.checkpoint.CheckpointStore` pair guarantees that
+identical work — whether from one client retrying or many clients
+asking the same question — is simulated exactly once.
+
+Layering (each module usable on its own):
+
+* :mod:`repro.serve.events` — per-job bounded event logs (NDJSON feed).
+* :mod:`repro.serve.jobs` — job model, digest dedup, bounded queue +
+  worker pool.
+* :mod:`repro.serve.api` — payload validation and execution over the
+  harness (:class:`CampaignRunner`).
+* :mod:`repro.serve.app` — the asyncio HTTP front end
+  (:class:`CampaignServer`) and :class:`BackgroundServer` for embedding.
+* :mod:`repro.serve.client` — stdlib :class:`CampaignClient`.
+"""
+
+from repro.serve.api import CampaignRunner, ServiceError
+from repro.serve.app import BackgroundServer, CampaignServer
+from repro.serve.client import CampaignClient, ClientError
+from repro.serve.events import EventLog
+from repro.serve.jobs import Job, JobManager, QueueFullError, job_digest
+
+__all__ = [
+    "BackgroundServer",
+    "CampaignClient",
+    "CampaignRunner",
+    "CampaignServer",
+    "ClientError",
+    "EventLog",
+    "Job",
+    "JobManager",
+    "QueueFullError",
+    "ServiceError",
+    "job_digest",
+]

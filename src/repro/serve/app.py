@@ -1,0 +1,388 @@
+"""The asyncio HTTP/JSON front end of the campaign server.
+
+Hand-rolled HTTP/1.1 on :func:`asyncio.start_server` — no frameworks, no
+``http.server`` — because the surface is tiny and the interesting part
+is the *shape*: a single-threaded async event loop parses requests and
+serves reads, while all simulation work happens on the
+:class:`~repro.serve.jobs.JobManager` worker threads behind a bounded
+queue.  Every response is JSON except the NDJSON event stream; every
+connection is ``Connection: close`` (submission latency is dominated by
+simulation anyway, and it keeps the parser honest).
+
+Endpoints:
+
+* ``POST /runs``, ``POST /sweeps`` — submit a normalized payload (see
+  :mod:`repro.serve.api`), get ``{"job": <id>, "deduped": bool, ...}``;
+  202 for a new job, 200 for a coalesced one, 400 malformed, 503 full.
+* ``GET /jobs`` — every job, oldest first.
+* ``GET /jobs/<id>`` — status snapshot plus live partial results
+  (per-status row counts out of the sweep's ResultStore).
+* ``GET /jobs/<id>/events[?from=N&follow=0|1]`` — the job's event log
+  as NDJSON; ``follow=1`` (default) streams until the job finishes,
+  ``follow=0`` returns what exists and closes.
+* ``GET /jobs/<id>/report[?format=markdown|json]`` — the finished job's
+  report (sweeps: the exact ``sweep report`` renderings).
+* ``GET /stats`` — request totals, job counts, dedup count, shared
+  cache/checkpoint counters.
+* ``GET /healthz`` — liveness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import urllib.parse
+
+from repro.serve.api import CampaignRunner, ServiceError
+from repro.serve.jobs import JobManager, QueueFullError
+
+MAX_BODY_BYTES = 8 << 20
+MAX_LINE_BYTES = 64 << 10
+#: how long one streaming poll of a job's EventLog blocks a pool thread
+STREAM_POLL_SECONDS = 0.5
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _head(status: int, content_type: str, length: int | None = None) -> bytes:
+    reason = _REASONS.get(status, "?")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        "Cache-Control: no-store",
+        "Connection: close",
+    ]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode()
+
+
+class CampaignServer:
+    """The long-running service: HTTP front, job queue, shared stores.
+
+    Args:
+        host/port: Bind address; port 0 picks an ephemeral port (read
+            ``server.port`` after :meth:`start`).
+        runner: A :class:`~repro.serve.api.CampaignRunner`; built with
+            ``runner_options`` when omitted.
+        workers: Job worker threads (each may itself fan a sweep chunk
+            out over the runner's ``jobs`` processes).
+        queue_size: Pending-job bound; submissions beyond it get 503.
+        runner_options: Keyword arguments for the default runner
+            (``state_dir``, ``cache``, ``checkpoints``, ``jobs``, ...).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        runner: CampaignRunner | None = None,
+        workers: int = 2,
+        queue_size: int = 64,
+        **runner_options,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.runner = runner if runner is not None else CampaignRunner(**runner_options)
+        self.manager = JobManager(self.runner, workers=workers, queue_size=queue_size)
+        self.requests = 0
+        self.started_at: float | None = None
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and start the worker pool; idempotent."""
+        if self._server is not None:
+            return
+        self.manager.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await asyncio.to_thread(self.manager.shutdown)
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await reader.readline()
+                if not request:
+                    return
+                parts = request.decode("latin-1").split()
+                if len(parts) != 3:
+                    raise _HttpError(400, "malformed request line")
+                method, target, _version = parts
+                headers = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    content_length = int(headers.get("content-length", 0))
+                except ValueError:
+                    raise _HttpError(400, "bad Content-Length") from None
+                if content_length > MAX_BODY_BYTES:
+                    raise _HttpError(413, "request body too large")
+                body = (
+                    await reader.readexactly(content_length)
+                    if content_length else b""
+                )
+                path, _, query = target.partition("?")
+                await self._route(
+                    method,
+                    urllib.parse.unquote(path),
+                    urllib.parse.parse_qs(query),
+                    body,
+                    writer,
+                )
+            except _HttpError as err:
+                await self._send_json(
+                    writer, err.status, {"error": err.message}
+                )
+            except ServiceError as err:
+                await self._send_json(writer, err.status, {"error": str(err)})
+            except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+                pass  # client hung up / oversized line: nothing to answer
+            except (ConnectionError, BrokenPipeError):
+                pass
+            except Exception as exc:  # noqa: BLE001 — last-resort 500
+                await self._send_json(
+                    writer, 500,
+                    {"error": f"{type(exc).__name__}: {exc}"},
+                )
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _route(self, method, path, params, body, writer) -> None:
+        self.requests += 1
+        if path in ("/", "/healthz"):
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            return await self._send_json(
+                writer, 200, {"ok": True, "service": "repro-serve"}
+            )
+        if path == "/stats":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            return await self._send_json(writer, 200, await asyncio.to_thread(self.stats))
+        if path in ("/runs", "/sweeps"):
+            if method != "POST":
+                raise _HttpError(405, "use POST")
+            return await self._submit(
+                "run" if path == "/runs" else "sweep", body, writer
+            )
+        if path == "/jobs":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            return await self._send_json(
+                writer, 200,
+                {"jobs": [job.snapshot() for job in self.manager.jobs()]},
+            )
+        segments = [s for s in path.split("/") if s]
+        if segments and segments[0] == "jobs" and len(segments) in (2, 3):
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            job = self.manager.get(segments[1])
+            if job is None:
+                raise _HttpError(404, f"no such job {segments[1]!r}")
+            if len(segments) == 2:
+                snapshot = job.snapshot()
+                partial = await asyncio.to_thread(self.runner.partial, job)
+                if partial is not None:
+                    snapshot["partial"] = partial
+                return await self._send_json(writer, 200, snapshot)
+            if segments[2] == "events":
+                return await self._stream_events(job, params, writer)
+            if segments[2] == "report":
+                fmt = params.get("format", ["markdown"])[0]
+                rendered = await asyncio.to_thread(self.runner.report, job, fmt)
+                if isinstance(rendered, str):
+                    payload = rendered.encode()
+                    writer.write(
+                        _head(200, "text/markdown; charset=utf-8", len(payload))
+                    )
+                    writer.write(payload)
+                    await writer.drain()
+                    return
+                return await self._send_json(writer, 200, rendered)
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    async def _submit(self, kind: str, body: bytes, writer) -> None:
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _HttpError(400, f"request body is not valid JSON: {exc}") from None
+        normalized = await asyncio.to_thread(self.runner.validate, kind, payload)
+        try:
+            job, deduped = self.manager.submit(kind, normalized)
+        except QueueFullError as exc:
+            raise _HttpError(503, str(exc)) from None
+        await self._send_json(
+            writer,
+            200 if deduped else 202,
+            {
+                "job": job.id,
+                "kind": job.kind,
+                "status": job.status,
+                "deduped": deduped,
+                "submissions": job.submissions,
+            },
+        )
+
+    async def _stream_events(self, job, params, writer) -> None:
+        follow = params.get("follow", ["1"])[0] not in ("0", "false", "no")
+        try:
+            cursor = int(params.get("from", ["0"])[0])
+        except ValueError:
+            raise _HttpError(400, "'from' must be an integer sequence number") from None
+        writer.write(_head(200, "application/x-ndjson"))
+        await writer.drain()
+        while True:
+            if follow:
+                events, closed = await asyncio.to_thread(
+                    job.events.wait, cursor, STREAM_POLL_SECONDS
+                )
+            else:
+                events, closed = job.events.after(cursor)
+            for event in events:
+                writer.write(
+                    (json.dumps(event, sort_keys=True, default=str) + "\n").encode()
+                )
+                cursor = event["seq"] + 1
+            await writer.drain()
+            if not follow or (closed and not events):
+                return
+
+    async def _send_json(self, writer, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True, default=str).encode()
+        writer.write(_head(status, "application/json", len(body)))
+        writer.write(body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        out = {
+            "requests": self.requests,
+            "uptime_seconds": (
+                round(time.time() - self.started_at, 3)
+                if self.started_at else 0.0
+            ),
+            "jobs": {
+                **self.manager.counts(),
+                "deduped": self.manager.deduped,
+                "executed": self.manager.executed,
+            },
+            "queue": {
+                "depth": self.manager._queue.qsize(),
+                "capacity": self.manager._queue.maxsize,
+                "workers": self.manager.workers,
+            },
+        }
+        out.update(self.runner.stats())
+        return out
+
+
+class BackgroundServer:
+    """Run a :class:`CampaignServer` on its own thread + event loop.
+
+    The embedding story for tests, benchmarks and notebooks::
+
+        with BackgroundServer(CampaignServer(state_dir=...)) as bg:
+            client = CampaignClient(bg.url)
+            ...
+
+    ``start()`` blocks until the socket is bound (so ``url`` is final) and
+    re-raises any bind failure in the caller's thread.
+    """
+
+    def __init__(self, server: CampaignServer) -> None:
+        self.server = server
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def start(self) -> "BackgroundServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("campaign server failed to start within 30s")
+        return self
+
+    async def _main(self) -> None:
+        try:
+            await self.server.start()
+        except BaseException as exc:  # noqa: BLE001 — reported to start()
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.aclose()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+        self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

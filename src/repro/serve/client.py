@@ -1,0 +1,129 @@
+"""Tiny stdlib client for the campaign server.
+
+Wraps :mod:`urllib.request` so scripts, tests and the CLI ``client``
+subcommand can talk to a :class:`~repro.serve.app.CampaignServer`
+without any HTTP plumbing of their own::
+
+    client = CampaignClient("http://127.0.0.1:8712")
+    ack = client.submit_sweep({"spec": {...}})
+    job = client.wait(ack["job"])
+    print(client.report(ack["job"]))
+
+Server-side rejections (400/404/409/503) surface as
+:class:`ClientError` carrying the HTTP status and the server's JSON
+``error`` message; transport failures keep their stdlib types.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Iterator
+
+
+class ClientError(RuntimeError):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class CampaignClient:
+    """A connection-per-request client for one campaign server."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _open(self, path: str, body: dict | None = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as err:
+            detail = err.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ClientError(err.code, detail) from None
+
+    def _json(self, path: str, body: dict | None = None) -> dict:
+        with self._open(path, body) as response:
+            return json.loads(response.read().decode())
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._json("/healthz")
+
+    def stats(self) -> dict:
+        return self._json("/stats")
+
+    def submit_run(self, payload: dict) -> dict:
+        """POST /runs; returns the submission ack (``job``, ``deduped``...)."""
+        return self._json("/runs", payload)
+
+    def submit_sweep(self, payload: dict) -> dict:
+        """POST /sweeps; returns the submission ack."""
+        return self._json("/sweeps", payload)
+
+    def jobs(self) -> list[dict]:
+        return self._json("/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """Status snapshot (plus live ``partial`` counts for sweeps)."""
+        return self._json(f"/jobs/{job_id}")
+
+    def events(
+        self, job_id: str, from_seq: int = 0, follow: bool = True
+    ) -> Iterator[dict]:
+        """Yield the job's NDJSON events; with ``follow`` blocks until done."""
+        query = urllib.parse.urlencode(
+            {"from": from_seq, "follow": int(follow)}
+        )
+        with self._open(f"/jobs/{job_id}/events?{query}") as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+
+    def report(self, job_id: str, fmt: str = "markdown") -> str | dict:
+        """The finished job's report: markdown text or a JSON dict."""
+        with self._open(
+            f"/jobs/{job_id}/report?format={urllib.parse.quote(fmt)}"
+        ) as response:
+            body = response.read().decode()
+        return body if fmt == "markdown" else json.loads(body)
+
+    def wait(
+        self, job_id: str, timeout: float = 600.0, poll: float = 0.25
+    ) -> dict:
+        """Poll until the job leaves the queue/run states; returns its snapshot.
+
+        Raises :class:`TimeoutError` if it is still unfinished after
+        ``timeout`` seconds, and :class:`ClientError` (as usual) if the
+        job id is unknown.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["status"] in ("done", "failed"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['status']} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll)

@@ -1,0 +1,91 @@
+"""Per-job event logs: bounded, subscribable, NDJSON-ready.
+
+Every job the campaign server runs carries an :class:`EventLog` — a ring
+of small JSON-serializable dicts stamped with a monotonically increasing
+``seq`` and a wall-clock ``ts``.  Producers (the job worker thread, the
+sweep runner's ``echo``/``progress`` hooks, the :mod:`repro.obs` tracer
+bridge) :meth:`emit` into it; consumers (the ``GET /jobs/<id>/events``
+NDJSON stream) :meth:`wait` on a sequence cursor, so many clients can
+follow one job live without the producers knowing they exist.
+
+The log is bounded the same way the :class:`repro.obs.Tracer` ring is:
+when ``capacity`` is exceeded the *oldest* events fall off and
+``dropped`` counts them — a slow stream consumer can detect the gap by a
+jump in ``seq``.  :meth:`close` marks the job finished; waiters wake and
+streams terminate once they have drained everything after their cursor.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+#: default per-job event capacity; lifecycle + per-task progress events
+#: are small, so this comfortably covers big sweeps while bounding memory
+DEFAULT_CAPACITY = 4096
+
+
+class EventLog:
+    """A bounded, closable, multi-reader event ring (see module docstring)."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: list[dict] = []
+        self._base = 0          #: seq of ``_events[0]``
+        self._next = 0          #: seq the next emit will get
+        self._cond = threading.Condition()
+        self.closed = False
+        self.dropped = 0
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Append one event; returns the stamped record."""
+        with self._cond:
+            event = {
+                "seq": self._next,
+                "ts": round(time.time(), 6),
+                "kind": kind,
+                **fields,
+            }
+            self._next += 1
+            self._events.append(event)
+            overflow = len(self._events) - self.capacity
+            if overflow > 0:
+                del self._events[:overflow]
+                self._base += overflow
+                self.dropped += overflow
+            self._cond.notify_all()
+            return event
+
+    def close(self) -> None:
+        """Mark the producing job finished; idempotent.  Wakes all waiters."""
+        with self._cond:
+            self.closed = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def _tail(self, from_seq: int) -> list[dict]:
+        start = max(0, from_seq - self._base)
+        return list(self._events[start:])
+
+    def after(self, from_seq: int = 0) -> tuple[list[dict], bool]:
+        """Events with ``seq >= from_seq`` right now, plus the closed flag."""
+        with self._cond:
+            return self._tail(from_seq), self.closed
+
+    def wait(
+        self, from_seq: int = 0, timeout: float | None = None
+    ) -> tuple[list[dict], bool]:
+        """Block until events past ``from_seq`` exist, the log closes, or
+        ``timeout`` elapses; returns ``(events, closed)`` like :meth:`after`.
+        """
+        with self._cond:
+            self._cond.wait_for(
+                lambda: self._next > from_seq or self.closed, timeout
+            )
+            return self._tail(from_seq), self.closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._events)

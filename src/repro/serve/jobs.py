@@ -1,0 +1,222 @@
+"""Job model, bounded queue and worker pool for the campaign server.
+
+A :class:`Job` is one submitted campaign unit — a single run or a whole
+sweep — identified two ways: a short random ``id`` (the client-facing
+handle) and a content ``digest`` over its *normalized* payload.  The
+digest is the dedup key: submitting a payload whose digest already maps
+to a queued, running or completed job returns **that** job instead of
+enqueueing a new one, which is how a million identical requests cost one
+simulation (the shared :class:`~repro.harness.cache.ResultCache` then
+covers the subtler case of *different* jobs sharing individual
+``(point, seed)`` tasks).  Only ``failed`` jobs are not dedup targets —
+resubmission after a failure is a retry.
+
+The :class:`JobManager` owns a bounded :class:`queue.Queue` and a small
+pool of daemon worker threads; when the queue is full, submission fails
+fast with :class:`QueueFullError` (the HTTP layer maps it to 503) rather
+than buffering unboundedly.  Execution itself is delegated to a *runner*
+callable — :class:`repro.serve.api.CampaignRunner` in production — so
+the queueing machinery stays independently testable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import queue
+import threading
+import time
+import uuid
+from typing import Callable
+
+from repro.serve.events import EventLog
+
+#: job lifecycle states, in order
+JOB_STATUSES = ("queued", "running", "done", "failed")
+
+
+class QueueFullError(RuntimeError):
+    """The server's job queue is at capacity; resubmit later."""
+
+
+def job_digest(kind: str, payload: dict) -> str:
+    """Content hash identifying a submission (kind + normalized payload)."""
+    blob = json.dumps(
+        {"kind": kind, "payload": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclasses.dataclass
+class Job:
+    """One submitted unit of work and everything observable about it."""
+
+    id: str
+    kind: str                     #: ``"run"`` or ``"sweep"``
+    payload: dict                 #: normalized submission payload
+    digest: str
+    created: float
+    status: str = "queued"
+    started: float | None = None
+    finished: float | None = None
+    result: dict | None = None
+    error: str | None = None
+    submissions: int = 1          #: total submits coalesced into this job
+    events: EventLog = dataclasses.field(default_factory=EventLog)
+    #: runner scratch space (sweep db path etc.); not exported verbatim
+    data: dict = dataclasses.field(default_factory=dict)
+
+    def snapshot(self) -> dict:
+        """JSON-safe public view served by ``GET /jobs/<id>``."""
+        out = {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "digest": self.digest,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "submissions": self.submissions,
+            "events": self.events._next,  # total emitted (ring may hold fewer)
+            "payload": self.payload,
+        }
+        if self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class JobManager:
+    """Bounded job queue + worker pool (see the module docstring)."""
+
+    def __init__(
+        self,
+        runner: Callable[[Job], dict | None],
+        workers: int = 2,
+        queue_size: int = 64,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self._runner = runner
+        self._jobs: dict[str, Job] = {}
+        self._by_digest: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._queue: queue.Queue[Job | None] = queue.Queue(maxsize=queue_size)
+        self._threads: list[threading.Thread] = []
+        self.workers = workers
+        self.deduped = 0          #: submissions answered by an existing job
+        self.executed = 0         #: jobs a worker actually ran
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spin up the worker pool; idempotent."""
+        with self._lock:
+            if self._threads:
+                return
+            self._threads = [
+                threading.Thread(
+                    target=self._work, name=f"repro-serve-worker-{i}", daemon=True
+                )
+                for i in range(self.workers)
+            ]
+        for thread in self._threads:
+            thread.start()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) join the workers."""
+        with self._lock:
+            threads, self._threads = self._threads, []
+        for _ in threads:
+            self._queue.put(None)
+        if wait:
+            for thread in threads:
+                thread.join()
+
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, payload: dict) -> tuple[Job, bool]:
+        """Enqueue a job, or coalesce onto an identical existing one.
+
+        Returns ``(job, deduped)``.  Raises :class:`QueueFullError` when
+        the job is new but the queue is at capacity.
+        """
+        digest = job_digest(kind, payload)
+        with self._lock:
+            existing = self._by_digest.get(digest)
+            if existing is not None and existing.status != "failed":
+                existing.submissions += 1
+                self.deduped += 1
+                existing.events.emit(
+                    "dedup", job=existing.id, submissions=existing.submissions
+                )
+                return existing, True
+            job = Job(
+                id=uuid.uuid4().hex[:12],
+                kind=kind,
+                payload=payload,
+                digest=digest,
+                created=time.time(),
+            )
+            self._jobs[job.id] = job
+            self._by_digest[digest] = job
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._lock:
+                del self._jobs[job.id]
+                if self._by_digest.get(digest) is job:
+                    if existing is not None:  # restore the failed ancestor
+                        self._by_digest[digest] = existing
+                    else:
+                        del self._by_digest[digest]
+            raise QueueFullError(
+                f"job queue is full ({self._queue.maxsize} pending)"
+            ) from None
+        job.events.emit("queued", job=job.id, job_kind=kind)
+        return job, False
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """Every known job, oldest first."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.created)
+
+    def counts(self) -> dict[str, int]:
+        out = {status: 0 for status in JOB_STATUSES}
+        for job in self.jobs():
+            out[job.status] += 1
+        return out
+
+    # ------------------------------------------------------------------
+    def _work(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            job.status = "running"
+            job.started = time.time()
+            job.events.emit("started", job=job.id)
+            try:
+                job.result = self._runner(job)
+            except Exception as exc:  # noqa: BLE001 — job isolation boundary
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.status = "failed"
+                job.finished = time.time()
+                job.events.emit("failed", job=job.id, error=job.error)
+            else:
+                job.status = "done"
+                job.finished = time.time()
+                job.events.emit(
+                    "done", job=job.id,
+                    wall_seconds=round(job.finished - job.started, 6),
+                )
+            finally:
+                self.executed += 1
+                job.events.close()

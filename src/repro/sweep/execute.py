@@ -17,12 +17,22 @@ completion against a :class:`~repro.sweep.store.ResultStore`:
 3. loop until nothing is runnable: failed rows are retried while their
    attempt budget lasts, then stay ``failed`` — the campaign finishes with
    a partial-results summary rather than an abort.
+
+Campaigns may also run *concurrently* against one store (several
+processes, or the campaign server's worker threads): rows are then taken
+through :meth:`~repro.sweep.store.ResultStore.claim` — a conditional
+update that names exactly one winner per row — a ``stale_after`` window
+keeps live claims from being stolen, and a :class:`_Heartbeat` thread
+refreshes ``updated_at`` on claimed rows while their chunk simulates, so
+a slow point is distinguishable from a crashed worker.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import threading
+import time
 from pathlib import Path
 
 from repro.harness.cache import code_version
@@ -38,6 +48,41 @@ from repro.sweep.store import ResultStore
 def default_db_path(spec_path: str | Path) -> Path:
     """Where a spec's results live by default: ``<spec>.db`` next to it."""
     return Path(spec_path).with_suffix(".db")
+
+
+class _Heartbeat:
+    """Background thread refreshing ``updated_at`` on claimed rows.
+
+    Runs while a chunk simulates (which can dwarf any fixed staleness
+    window on big points), so concurrent campaigns using a ``stale_after``
+    window see the claim as live.  ``stop()`` is idempotent and joins the
+    thread; the final touch races the chunk's own commit harmlessly —
+    :meth:`~repro.sweep.store.ResultStore.touch` only refreshes rows
+    still ``running``.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        sweep: str,
+        keys: list[tuple[str, int]],
+        interval: float,
+    ) -> None:
+        self._store = store
+        self._sweep = sweep
+        self._keys = keys
+        self._interval = interval
+        self._done = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._done.wait(self._interval):
+            self._store.touch(self._sweep, self._keys)
+
+    def stop(self) -> None:
+        self._done.set()
+        self._thread.join()
 
 
 @dataclasses.dataclass
@@ -109,6 +154,9 @@ def run_sweep(
     chunk: int | None = None,
     checkpoints=None,
     echo=None,
+    stale_after: float | None = None,
+    heartbeat: float | None = None,
+    progress=None,
 ) -> CampaignSummary:
     """Run (or resume) a sweep campaign; see the module docstring.
 
@@ -132,6 +180,19 @@ def run_sweep(
             point sharing its architectural axes restores it.  Hit/store
             counts are echoed with the summary.
         echo: Optional ``print``-like progress callback.
+        stale_after: Seconds after which a ``running`` claim with no
+            heartbeat counts as crashed and may be re-claimed.  ``None``
+            (the single-campaign default) keeps the historical behaviour
+            — every running row is presumed stale — which is correct for
+            resuming after a crash but unsafe when campaigns share a
+            store; concurrent callers must pass a window (and should run
+            with ``heartbeat`` well under it).  When rows this campaign
+            needs are claimed by another live worker, the loop waits for
+            them instead of re-simulating.
+        heartbeat: Seconds between ``updated_at`` touches on claimed
+            rows while a chunk simulates (``None`` = no heartbeat).
+        progress: Optional callback receiving per-task progress dicts
+            (see :func:`~repro.harness.parallel.run_simulations`).
     """
     from repro.harness.checkpoint import resolve_checkpoints
 
@@ -157,16 +218,24 @@ def run_sweep(
     while True:
         todo = [
             r
-            for r in store.runnable(spec.name, retries)
+            for r in store.runnable(spec.name, retries, stale_after=stale_after)
             if (r["point_id"], r["seed"]) in mine
         ]
         if not todo:
+            if stale_after is not None and any(
+                (r["point_id"], r["seed"]) in mine
+                for r in store.running(spec.name, stale_after=stale_after)
+            ):
+                # another live campaign owns rows we need: wait for it to
+                # commit them (or for its heartbeat to go stale, at which
+                # point runnable() hands them back to us)
+                time.sleep(min(0.2, stale_after / 4))
+                continue
             break
         say(f"{spec.name}: {len(todo)} rows to simulate")
         for start in range(0, len(todo), chunk):
             batch = todo[start : start + chunk]
-            tasks = []
-            buildable = []
+            candidates = []
             for row in batch:
                 key = (row["point_id"], row["seed"])
                 params = json.loads(row["params"])
@@ -178,22 +247,47 @@ def run_sweep(
                         sample=spec.sample,
                     )
                 except Exception as exc:  # bad recipe (unknown predictor, ...)
-                    store.mark_running(spec.name, [key])
-                    store.mark_failed(
-                        spec.name, key, f"{type(exc).__name__}: {exc}"
-                    )
+                    if store.claim(
+                        spec.name, [key], retries, stale_after=stale_after
+                    ):
+                        store.mark_failed(
+                            spec.name, key, f"{type(exc).__name__}: {exc}"
+                        )
                     continue
-                tasks.append((row["workload"], run_spec, row["length"], row["seed"]))
-                buildable.append((key, row, run_spec))
-            if not tasks:
+                candidates.append((key, row, run_spec))
+            if not candidates:
                 continue
+            claimed = set(
+                store.claim(
+                    spec.name,
+                    [key for key, _, _ in candidates],
+                    retries,
+                    stale_after=stale_after,
+                )
+            )
+            buildable = [c for c in candidates if c[0] in claimed]
+            if not buildable:
+                continue  # every row lost to a concurrent campaign
+            tasks = [
+                (row["workload"], run_spec, row["length"], row["seed"])
+                for _, row, run_spec in buildable
+            ]
             simulated += len(tasks)
             retried += sum(1 for _, row, _ in buildable if row["attempts"] > 0)
-            store.mark_running(spec.name, [key for key, _, _ in buildable])
-            outcomes = run_simulations(
-                tasks, jobs=jobs, cache=cache, on_error="collect",
-                checkpoints=ckpt_store if ckpt_store is not None else False,
+            beat = (
+                _Heartbeat(store, spec.name, sorted(claimed), heartbeat)
+                if heartbeat is not None
+                else None
             )
+            try:
+                outcomes = run_simulations(
+                    tasks, jobs=jobs, cache=cache, on_error="collect",
+                    checkpoints=ckpt_store if ckpt_store is not None else False,
+                    progress=progress,
+                )
+            finally:
+                if beat is not None:
+                    beat.stop()
             version = code_version()
             for (key, row, run_spec), outcome in zip(buildable, outcomes):
                 if isinstance(outcome, SimulationError):

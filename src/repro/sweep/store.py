@@ -12,14 +12,29 @@ for what is left, and simulates only that.
 A single database file can hold many sweeps (rows are keyed by sweep
 name); the default location is ``<spec>.db`` next to the spec file, so a
 campaign and its results travel together.
+
+Concurrency model (DESIGN.md §5g): the store is safe to share between
+threads of one process *and* between processes holding their own
+:class:`ResultStore` on the same path.  One connection per store, opened
+with ``check_same_thread=False`` and serialized behind an internal lock;
+WAL journaling plus a ``busy_timeout`` make cross-process writers queue
+instead of raising ``database is locked``; and ownership of a row is
+taken through :meth:`claim` — a conditional single-statement ``UPDATE``
+whose rowcount decides the winner — so two workers can never both run the
+same ``(point, seed)``.  Live claims advertise themselves through
+``updated_at`` heartbeats (:meth:`touch`); a claim only becomes stealable
+again once its heartbeat is older than the caller's ``stale_after``
+window.
 """
 
 from __future__ import annotations
 
-import json
 import sqlite3
+import threading
 import time
 from pathlib import Path
+
+import json
 
 #: the legal row states, in lifecycle order
 STATUSES = ("pending", "running", "done", "failed")
@@ -47,21 +62,44 @@ CREATE TABLE IF NOT EXISTS results (
 CREATE INDEX IF NOT EXISTS idx_results_status ON results (sweep, status);
 """
 
+#: SQL fragment selecting rows still owed a simulation; parameters are
+#: (retries, stale_after, stale_cutoff) in that order
+_RUNNABLE = (
+    "(status = 'pending'"
+    " OR (status = 'failed' AND attempts <= ?)"
+    " OR (status = 'running' AND (? IS NULL OR updated_at < ?)))"
+)
+
 
 class ResultStore:
     """A sweep results database (see the module docstring for the model)."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, busy_timeout: float = 30.0) -> None:
         self.path = Path(path)
         if self.path.parent != Path(""):
             self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._db = sqlite3.connect(self.path)
+        #: serializes every use of the shared connection; RLock so helper
+        #: methods can call each other while held
+        self._lock = threading.RLock()
+        self._db = sqlite3.connect(
+            self.path, timeout=busy_timeout, check_same_thread=False
+        )
         self._db.row_factory = sqlite3.Row
-        self._db.executescript(_SCHEMA)
-        self._db.commit()
+        with self._lock:
+            try:
+                # WAL lets readers proceed while a writer commits; harmless
+                # to request on every open (a no-op once set), and some
+                # filesystems refuse it — plain rollback journal then
+                self._db.execute("PRAGMA journal_mode=WAL")
+            except sqlite3.DatabaseError:
+                pass
+            self._db.execute(f"PRAGMA busy_timeout={int(busy_timeout * 1000)}")
+            self._db.executescript(_SCHEMA)
+            self._db.commit()
 
     def close(self) -> None:
-        self._db.close()
+        with self._lock:
+            self._db.close()
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -77,54 +115,127 @@ class ResultStore:
         ``length``, ``params`` (a JSON-serializable recipe) and optionally
         ``role``/``idx``.  Returns how many rows were newly inserted.
         """
-        before = self._db.total_changes
-        self._db.executemany(
-            "INSERT OR IGNORE INTO results "
-            "(sweep, point_id, seed, role, idx, workload, length, params,"
-            " status, updated_at) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, 'pending', ?)",
-            [
-                (
-                    sweep,
-                    row["point_id"],
-                    row["seed"],
-                    row.get("role", "point"),
-                    row.get("idx", 0),
-                    row["workload"],
-                    row["length"],
-                    json.dumps(row["params"], sort_keys=True, default=str),
-                    time.time(),
+        with self._lock:
+            before = self._db.total_changes
+            with self._db:  # one transaction for the whole batch
+                self._db.executemany(
+                    "INSERT OR IGNORE INTO results "
+                    "(sweep, point_id, seed, role, idx, workload, length,"
+                    " params, status, updated_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, 'pending', ?)",
+                    [
+                        (
+                            sweep,
+                            row["point_id"],
+                            row["seed"],
+                            row.get("role", "point"),
+                            row.get("idx", 0),
+                            row["workload"],
+                            row["length"],
+                            json.dumps(row["params"], sort_keys=True, default=str),
+                            time.time(),
+                        )
+                        for row in rows
+                    ],
                 )
-                for row in rows
-            ],
-        )
-        self._db.commit()
-        return self._db.total_changes - before
+            return self._db.total_changes - before
 
-    def runnable(self, sweep: str, retries: int = 0) -> list[sqlite3.Row]:
+    def runnable(
+        self, sweep: str, retries: int = 0, stale_after: float | None = None
+    ) -> list[sqlite3.Row]:
         """Rows still owed a simulation, in campaign (idx, seed) order.
 
-        ``pending`` rows, ``running`` rows (stale claims from a crashed
-        process) and ``failed`` rows with retry budget left (``attempts <=
-        retries``, i.e. ``retries`` extra attempts after the first
-        failure).
+        ``pending`` rows, ``failed`` rows with retry budget left
+        (``attempts <= retries``, i.e. ``retries`` extra attempts after
+        the first failure), and ``running`` rows whose claim has gone
+        stale.  ``stale_after=None`` (the historical single-campaign
+        default) treats *every* running row as a crashed claim;
+        concurrent campaigns pass a window in seconds so rows whose
+        owner heartbeat within the window are left alone.
         """
-        return self._db.execute(
-            "SELECT * FROM results WHERE sweep = ? AND "
-            "(status IN ('pending', 'running') "
-            " OR (status = 'failed' AND attempts <= ?)) "
-            "ORDER BY idx, point_id, seed",
-            (sweep, retries),
-        ).fetchall()
+        now = time.time()
+        with self._lock:
+            return self._db.execute(
+                f"SELECT * FROM results WHERE sweep = ? AND {_RUNNABLE} "
+                "ORDER BY idx, point_id, seed",
+                (sweep, retries, stale_after, now - (stale_after or 0.0)),
+            ).fetchall()
+
+    def claim(
+        self,
+        sweep: str,
+        keys: list[tuple[str, int]],
+        retries: int = 0,
+        stale_after: float | None = None,
+    ) -> list[tuple[str, int]]:
+        """Atomically take ownership of rows; returns the keys actually won.
+
+        Each key is claimed with a conditional ``UPDATE`` that only fires
+        while the row is still runnable (same predicate as
+        :meth:`runnable`), so when several workers race for one row the
+        rowcount names exactly one winner — the losers simply get a
+        shorter list back and must not run those keys.  Claiming
+        increments the attempt count and stamps ``updated_at``, which
+        doubles as the claim's first heartbeat.
+        """
+        claimed: list[tuple[str, int]] = []
+        with self._lock, self._db:
+            for pid, seed in keys:
+                now = time.time()
+                cursor = self._db.execute(
+                    "UPDATE results SET status = 'running', "
+                    "attempts = attempts + 1, updated_at = ? "
+                    f"WHERE sweep = ? AND point_id = ? AND seed = ? AND {_RUNNABLE}",
+                    (now, sweep, pid, seed,
+                     retries, stale_after, now - (stale_after or 0.0)),
+                )
+                if cursor.rowcount:
+                    claimed.append((pid, seed))
+        return claimed
+
+    def touch(self, sweep: str, keys: list[tuple[str, int]]) -> None:
+        """Heartbeat: refresh ``updated_at`` on still-running claims.
+
+        A worker grinding through a slow point touches its rows
+        periodically so a concurrent resume (using a ``stale_after``
+        window) cannot mistake them for a crashed claim and steal them.
+        Rows that left ``running`` (the worker committed, or someone did
+        steal them) are deliberately not revived.
+        """
+        with self._lock, self._db:
+            self._db.executemany(
+                "UPDATE results SET updated_at = ? WHERE sweep = ? "
+                "AND point_id = ? AND seed = ? AND status = 'running'",
+                [(time.time(), sweep, pid, seed) for pid, seed in keys],
+            )
+
+    def running(
+        self, sweep: str, stale_after: float | None = None
+    ) -> list[sqlite3.Row]:
+        """Rows currently claimed; with ``stale_after``, only live claims."""
+        now = time.time()
+        with self._lock:
+            return self._db.execute(
+                "SELECT * FROM results WHERE sweep = ? AND status = 'running' "
+                "AND (? IS NULL OR updated_at >= ?) "
+                "ORDER BY idx, point_id, seed",
+                (sweep, stale_after, now - (stale_after or 0.0)),
+            ).fetchall()
 
     def mark_running(self, sweep: str, keys: list[tuple[str, int]]) -> None:
-        """Claim rows for this attempt (increments their attempt count)."""
-        self._db.executemany(
-            "UPDATE results SET status = 'running', attempts = attempts + 1, "
-            "updated_at = ? WHERE sweep = ? AND point_id = ? AND seed = ?",
-            [(time.time(), sweep, pid, seed) for pid, seed in keys],
-        )
-        self._db.commit()
+        """Claim rows for this attempt (increments their attempt count).
+
+        Unconditional — single-campaign callers that already hold the
+        rows via :meth:`runnable` use this; anything that might race
+        another worker must use :meth:`claim` instead.
+        """
+        with self._lock, self._db:
+            self._db.executemany(
+                "UPDATE results SET status = 'running', "
+                "attempts = attempts + 1, updated_at = ? "
+                "WHERE sweep = ? AND point_id = ? AND seed = ?",
+                [(time.time(), sweep, pid, seed) for pid, seed in keys],
+            )
 
     def mark_done(
         self,
@@ -136,68 +247,76 @@ class ResultStore:
         code_version: str | None = None,
     ) -> None:
         """Record a completed simulation's stats digest."""
-        self._db.execute(
-            "UPDATE results SET status = 'done', stats = ?, config = ?, "
-            "error = NULL, wall_seconds = ?, code_version = ?, updated_at = ? "
-            "WHERE sweep = ? AND point_id = ? AND seed = ?",
-            (
-                json.dumps(stats, sort_keys=True),
-                json.dumps(config, sort_keys=True, default=str) if config else None,
-                wall_seconds,
-                code_version,
-                time.time(),
-                sweep,
-                key[0],
-                key[1],
-            ),
-        )
-        self._db.commit()
+        with self._lock, self._db:
+            self._db.execute(
+                "UPDATE results SET status = 'done', stats = ?, config = ?, "
+                "error = NULL, wall_seconds = ?, code_version = ?, "
+                "updated_at = ? "
+                "WHERE sweep = ? AND point_id = ? AND seed = ?",
+                (
+                    json.dumps(stats, sort_keys=True),
+                    json.dumps(config, sort_keys=True, default=str)
+                    if config else None,
+                    wall_seconds,
+                    code_version,
+                    time.time(),
+                    sweep,
+                    key[0],
+                    key[1],
+                ),
+            )
 
     def mark_failed(self, sweep: str, key: tuple[str, int], error: str) -> None:
         """Record a failed attempt (the exception text, truncated sanely)."""
-        self._db.execute(
-            "UPDATE results SET status = 'failed', error = ?, updated_at = ? "
-            "WHERE sweep = ? AND point_id = ? AND seed = ?",
-            (error[:2000], time.time(), sweep, key[0], key[1]),
-        )
-        self._db.commit()
+        with self._lock, self._db:
+            self._db.execute(
+                "UPDATE results SET status = 'failed', error = ?, "
+                "updated_at = ? "
+                "WHERE sweep = ? AND point_id = ? AND seed = ?",
+                (error[:2000], time.time(), sweep, key[0], key[1]),
+            )
 
     # ------------------------------------------------------------------
     def rows(self, sweep: str, role: str | None = None) -> list[sqlite3.Row]:
         """Every row of a sweep (optionally one role), in campaign order."""
-        if role is None:
+        with self._lock:
+            if role is None:
+                return self._db.execute(
+                    "SELECT * FROM results WHERE sweep = ? "
+                    "ORDER BY idx, point_id, seed",
+                    (sweep,),
+                ).fetchall()
             return self._db.execute(
-                "SELECT * FROM results WHERE sweep = ? "
+                "SELECT * FROM results WHERE sweep = ? AND role = ? "
                 "ORDER BY idx, point_id, seed",
-                (sweep,),
+                (sweep, role),
             ).fetchall()
-        return self._db.execute(
-            "SELECT * FROM results WHERE sweep = ? AND role = ? "
-            "ORDER BY idx, point_id, seed",
-            (sweep, role),
-        ).fetchall()
 
     def counts(self, sweep: str) -> dict[str, int]:
         """Row count per status (every status present, zeros included)."""
         out = {status: 0 for status in STATUSES}
-        for status, n in self._db.execute(
-            "SELECT status, COUNT(*) FROM results WHERE sweep = ? GROUP BY status",
-            (sweep,),
-        ):
-            out[status] = n
+        with self._lock:
+            for status, n in self._db.execute(
+                "SELECT status, COUNT(*) FROM results WHERE sweep = ? "
+                "GROUP BY status",
+                (sweep,),
+            ):
+                out[status] = n
         return out
 
     def sweeps(self) -> list[str]:
         """Names of every sweep stored in this database."""
-        return [
-            name
-            for (name,) in self._db.execute(
-                "SELECT DISTINCT sweep FROM results ORDER BY sweep"
-            )
-        ]
+        with self._lock:
+            return [
+                name
+                for (name,) in self._db.execute(
+                    "SELECT DISTINCT sweep FROM results ORDER BY sweep"
+                )
+            ]
 
     def __len__(self) -> int:
-        (n,) = self._db.execute("SELECT COUNT(*) FROM results").fetchone()
+        with self._lock:
+            (n,) = self._db.execute("SELECT COUNT(*) FROM results").fetchone()
         return n
 
     def __repr__(self) -> str:

@@ -1,0 +1,394 @@
+"""The campaign server: unit tests for each layer plus the e2e property
+the service exists for — N concurrent clients submitting identical work
+cost exactly one simulation and read byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.serve import (
+    BackgroundServer,
+    CampaignClient,
+    CampaignRunner,
+    CampaignServer,
+    ClientError,
+    EventLog,
+    JobManager,
+    QueueFullError,
+    ServiceError,
+    job_digest,
+)
+
+SMALL_SWEEP = {
+    "name": "e2e",
+    "axes": {"threads": [2, 4]},
+    "base": {"machine": "mtvp"},
+    "workloads": ["mcf"],
+    "seeds": [0],
+    "lengths": [400],
+}
+
+
+class TestEventLog:
+    def test_seq_and_after(self):
+        log = EventLog()
+        log.emit("a", x=1)
+        log.emit("b")
+        events, closed = log.after(0)
+        assert [e["kind"] for e in events] == ["a", "b"]
+        assert [e["seq"] for e in events] == [0, 1]
+        assert events[0]["x"] == 1
+        assert not closed
+        events, _ = log.after(1)
+        assert [e["kind"] for e in events] == ["b"]
+
+    def test_overflow_drops_oldest_and_counts(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit("e", i=i)
+        assert log.dropped == 2
+        events, _ = log.after(0)
+        assert [e["i"] for e in events] == [2, 3, 4]
+        assert events[0]["seq"] == 2  # seq gap reveals the drop
+
+    def test_wait_wakes_on_emit(self):
+        log = EventLog()
+        got = []
+
+        def waiter() -> None:
+            got.append(log.wait(0, timeout=5.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        log.emit("ping")
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        events, closed = got[0]
+        assert [e["kind"] for e in events] == ["ping"]
+
+    def test_close_wakes_waiters_and_is_idempotent(self):
+        log = EventLog()
+        events, closed = log.wait(0, timeout=0.01)
+        assert events == [] and not closed
+        log.close()
+        log.close()
+        events, closed = log.wait(0, timeout=5.0)
+        assert closed
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestJobManager:
+    def test_digest_is_order_insensitive(self):
+        assert job_digest("run", {"a": 1, "b": 2}) == job_digest(
+            "run", {"b": 2, "a": 1}
+        )
+        assert job_digest("run", {"a": 1}) != job_digest("sweep", {"a": 1})
+
+    def test_identical_submissions_coalesce(self):
+        manager = JobManager(lambda job: {"ok": True}, workers=1, queue_size=4)
+        job1, deduped1 = manager.submit("run", {"x": 1})
+        job2, deduped2 = manager.submit("run", {"x": 1})
+        assert job1 is job2
+        assert (deduped1, deduped2) == (False, True)
+        assert job1.submissions == 2
+        assert manager.deduped == 1
+
+    def test_dedup_works_after_completion(self):
+        manager = JobManager(lambda job: {"ok": True}, workers=1, queue_size=4)
+        manager.start()
+        try:
+            job, _ = manager.submit("run", {"x": 1})
+            deadline = time.time() + 5.0
+            while job.status != "done" and time.time() < deadline:
+                time.sleep(0.01)
+            assert job.status == "done"
+            again, deduped = manager.submit("run", {"x": 1})
+            assert again is job and deduped
+            assert manager.executed == 1
+        finally:
+            manager.shutdown()
+
+    def test_failed_jobs_are_not_dedup_targets(self):
+        def runner(job):
+            raise RuntimeError("boom")
+
+        manager = JobManager(runner, workers=1, queue_size=4)
+        manager.start()
+        try:
+            job, _ = manager.submit("run", {"x": 1})
+            deadline = time.time() + 5.0
+            while job.status != "failed" and time.time() < deadline:
+                time.sleep(0.01)
+            assert job.status == "failed"
+            assert "boom" in job.error
+            retry, deduped = manager.submit("run", {"x": 1})
+            assert retry is not job and not deduped
+        finally:
+            manager.shutdown()
+
+    def test_queue_full_raises_and_rolls_back(self):
+        manager = JobManager(lambda job: None, workers=1, queue_size=1)
+        # no workers running: the queue fills and stays full
+        manager.submit("run", {"x": 1})
+        with pytest.raises(QueueFullError):
+            manager.submit("run", {"x": 2})
+        # the rejected submission left no ghost job behind
+        assert len(manager.jobs()) == 1
+        # and its digest is free: resubmitting later is a fresh attempt,
+        # not a dedup hit on a phantom
+        job, deduped = manager.submit("run", {"x": 1})
+        assert deduped  # the queued twin is still there, that one dedupes
+
+    def test_job_lifecycle_events(self):
+        manager = JobManager(lambda job: {"ok": True}, workers=1, queue_size=4)
+        manager.start()
+        try:
+            job, _ = manager.submit("run", {"x": 1})
+            events, closed = job.events.wait(0, timeout=5.0)
+            deadline = time.time() + 5.0
+            while not closed and time.time() < deadline:
+                events, closed = job.events.wait(0, timeout=0.5)
+            kinds = [e["kind"] for e in events]
+            assert kinds[0] == "queued"
+            assert "started" in kinds and "done" in kinds
+            assert closed
+        finally:
+            manager.shutdown()
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def runner(self, tmp_path_factory):
+        return CampaignRunner(state_dir=tmp_path_factory.mktemp("runner"))
+
+    def test_run_defaults_are_normalized(self, runner):
+        a = runner.validate("run", {"workload": "mcf", "length": 500})
+        b = runner.validate(
+            "run", {"workload": "mcf", "length": 500, "seed": 0, "warmup": 0}
+        )
+        assert a == b
+        assert job_digest("run", a) == job_digest("run", b)
+
+    def test_unknown_workload_is_400(self, runner):
+        with pytest.raises(ServiceError, match="unknown workload"):
+            runner.validate("run", {"workload": "nope"})
+
+    def test_unknown_field_is_400(self, runner):
+        with pytest.raises(ServiceError, match="unknown run field"):
+            runner.validate("run", {"workload": "mcf", "bogus": 1})
+
+    def test_bad_recipe_is_400_at_submit_time(self, runner):
+        with pytest.raises(ServiceError, match="invalid run recipe"):
+            runner.validate(
+                "run",
+                {"workload": "mcf", "params": {"machine": "warp-drive"}},
+            )
+
+    def test_single_context_preset_with_threads_is_400(self, runner):
+        with pytest.raises(ServiceError, match="invalid run recipe"):
+            runner.validate(
+                "run",
+                {"workload": "mcf",
+                 "params": {"machine": "stvp", "threads": 4}},
+            )
+
+    def test_bad_types_are_400(self, runner):
+        for field, value in (
+            ("length", -5), ("seed", "zero"), ("warmup", -1), ("sample", 0),
+        ):
+            with pytest.raises(ServiceError):
+                runner.validate("run", {"workload": "mcf", field: value})
+
+    def test_sweep_spec_is_validated(self, runner):
+        with pytest.raises(ServiceError, match="invalid sweep spec"):
+            runner.validate("sweep", {"spec": {"name": "x", "bogus": 1}})
+        with pytest.raises(ServiceError, match="'spec' object"):
+            runner.validate("sweep", {})
+
+    def test_non_object_body_is_400(self, runner):
+        with pytest.raises(ServiceError):
+            runner.validate("run", [1, 2])
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    """One server shared by the e2e tests (module-scoped: boot is cheap
+    but the concurrent-sweep test wants a warm, shared cache story)."""
+    server = CampaignServer(
+        state_dir=tmp_path_factory.mktemp("service"), workers=2
+    )
+    with BackgroundServer(server) as bg:
+        yield server, CampaignClient(bg.url, timeout=120.0)
+
+
+class TestServiceE2E:
+    def test_health_and_stats(self, service):
+        _, client = service
+        assert client.health()["ok"] is True
+        stats = client.stats()
+        assert "cache" in stats and "jobs" in stats
+
+    def test_concurrent_identical_sweeps_cost_one_simulation(self, service):
+        """THE acceptance criterion: three concurrent clients submit the
+        same sweep; exactly one job runs, every (point, seed) simulates
+        exactly once (cache-hit counters prove it), and all three read
+        byte-identical reports."""
+        server, _ = service
+        url = server.url
+        stores_before = server.runner.cache.stores
+        acks, errors = [], []
+
+        def submit() -> None:
+            try:
+                client = CampaignClient(url, timeout=120.0)
+                acks.append(client.submit_sweep({"spec": SMALL_SWEEP}))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, f"submissions raised: {errors}"
+        assert len({ack["job"] for ack in acks}) == 1, (
+            "identical submissions did not coalesce onto one job")
+        job_id = acks[0]["job"]
+
+        client = CampaignClient(url, timeout=120.0)
+        snapshot = client.wait(job_id, timeout=120.0)
+        assert snapshot["status"] == "done", snapshot.get("error")
+        assert snapshot["submissions"] == 3
+        assert snapshot["partial"]["failed"] == 0
+        total_rows = snapshot["partial"]["total"]
+
+        # exactly-once: every row stored exactly one fresh simulation
+        stores_after = server.runner.cache.stores
+        assert stores_after - stores_before == total_rows, (
+            f"expected {total_rows} simulations, "
+            f"saw {stores_after - stores_before} cache stores")
+
+        # byte-identical reports for every client
+        reports = {client.report(job_id) for _ in range(3)}
+        assert len(reports) == 1
+        report = reports.pop()
+        assert report.startswith("### Sweep e2e")
+
+        # resubmitting the finished sweep is a dedup hit, zero new work
+        ack = client.submit_sweep({"spec": SMALL_SWEEP})
+        assert ack["deduped"] and ack["job"] == job_id
+        assert server.runner.cache.stores == stores_after
+
+    def test_run_job_cache_hit_round_trip(self, service):
+        server, client = service
+        payload = {"workload": "mcf", "length": 300, "seed": 7}
+        ack = client.submit_run(payload)
+        first = client.wait(ack["job"], timeout=120.0)
+        assert first["status"] == "done"
+        assert first["result"]["cached"] is False
+        # same simulation through a *different* job (distinct digest via
+        # observe): the run comes straight from the shared cache
+        hits_before = server.runner.cache.hits
+        ack2 = client.submit_run(dict(payload, observe=True))
+        assert ack2["job"] != ack["job"]
+        second = client.wait(ack2["job"], timeout=120.0)
+        assert second["status"] == "done"
+        # observed runs key separately; miss is fine — what matters is
+        # the identical resubmission below is served without simulating
+        ack3 = client.submit_run(payload)
+        assert ack3["deduped"] and ack3["job"] == ack["job"]
+        assert server.runner.cache.hits >= hits_before
+
+    def test_event_stream_is_wellformed_ndjson(self, service):
+        server, client = service
+        payload = {"workload": "mcf", "length": 300, "seed": 11}
+        ack = client.submit_run(payload)
+        client.wait(ack["job"], timeout=120.0)
+        # raw HTTP read: every line must parse as JSON on its own
+        with urllib.request.urlopen(
+            f"{server.url}/jobs/{ack['job']}/events?follow=1", timeout=30
+        ) as response:
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            raw = response.read().decode()
+        lines = [line for line in raw.split("\n") if line]
+        events = [json.loads(line) for line in lines]
+        assert len(events) >= 3
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "queued"
+        assert "started" in kinds and "done" in kinds
+        assert all("ts" in e for e in events)
+        # cursoring: from= resumes mid-stream
+        tail = list(client.events(ack["job"], from_seq=seqs[1], follow=False))
+        assert [e["seq"] for e in tail] == seqs[1:]
+
+    def test_sweep_events_carry_progress(self, service):
+        _, client = service
+        ack = client.submit_sweep({"spec": SMALL_SWEEP})  # deduped or not
+        client.wait(ack["job"], timeout=120.0)
+        kinds = {e["kind"] for e in client.events(ack["job"], follow=False)}
+        assert "log" in kinds  # run_sweep's echo lines
+        assert "progress" in kinds  # per-task completion ticks
+
+    def test_traced_run_streams_trace_events(self, service):
+        _, client = service
+        ack = client.submit_run({"workload": "mcf", "length": 200, "trace": True})
+        snapshot = client.wait(ack["job"], timeout=120.0)
+        assert snapshot["status"] == "done"
+        assert snapshot["result"]["trace"]["emitted"] > 0
+        events = list(client.events(ack["job"], follow=False))
+        assert any(e["kind"] == "trace" for e in events)
+
+    def test_error_surfaces(self, service):
+        _, client = service
+        with pytest.raises(ClientError) as err:
+            client.submit_run({"workload": "nope"})
+        assert err.value.status == 400
+        with pytest.raises(ClientError) as err:
+            client.job("no-such-job")
+        assert err.value.status == 404
+        with pytest.raises(ClientError) as err:
+            client.report("no-such-job")
+        assert err.value.status == 404
+
+    def test_report_on_unfinished_job_is_409(self, service):
+        server, client = service
+        # a queued job that never runs: park it behind a stopped manager —
+        # simplest is a runner-level check with a synthetic job
+        from repro.serve.jobs import Job
+
+        job = Job(id="x", kind="run", payload={}, digest="d", created=0.0)
+        with pytest.raises(ServiceError) as err:
+            server.runner.report(job)
+        assert err.value.status == 409
+
+    def test_unknown_route_is_404_and_bad_json_400(self, service):
+        server, _ = service
+        request = urllib.request.Request(f"{server.url}/bogus")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 404
+        request = urllib.request.Request(
+            f"{server.url}/runs", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+
+    def test_jobs_listing(self, service):
+        _, client = service
+        jobs = client.jobs()
+        assert jobs, "earlier tests created jobs"
+        assert all({"id", "kind", "status"} <= set(j) for j in jobs)
