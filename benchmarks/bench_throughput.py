@@ -35,42 +35,19 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.harness.bench import (  # noqa: E402  (path bootstrap above)
+    LANE_POINT,
+    LANE_POINT_LANES,
     TABLE1_POINTS,
+    check_regression,
     format_bench,
     load_bench,
     run_bench,
+    run_lane_point,
     trace_point,
     write_bench,
 )
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
-
-
-def check_regression(results: dict, previous: dict | None, within_pct: float) -> int:
-    """Exit code 1 if any point regressed more than ``within_pct`` percent.
-
-    Points are matched by name against the committed record; lengths must
-    match too (rates at different lengths are not comparable).
-    """
-    if not previous:
-        print("no previous record to gate against; skipping assertion")
-        return 0
-    prev_points = {p["name"]: p for p in previous.get("points", [])}
-    failed = False
-    for p in results["points"]:
-        prev = prev_points.get(p["name"])
-        if not prev or prev.get("length") != p["length"] or not prev.get("ips"):
-            continue
-        drop_pct = 100.0 * (1.0 - p["ips"] / prev["ips"])
-        status = "FAIL" if drop_pct > within_pct else "ok"
-        print(
-            f"assert-within {within_pct:.0f}%: {p['name']} "
-            f"{p['ips']:.0f} vs {prev['ips']:.0f} ips "
-            f"({-drop_pct:+.1f}%) {status}"
-        )
-        if drop_pct > within_pct:
-            failed = True
-    return 1 if failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -107,6 +84,13 @@ def main(argv: list[str] | None = None) -> int:
         help="also run one observed MTVP simulation and export a Chrome "
              "trace to FILE, cross-checking its stats digest",
     )
+    parser.add_argument(
+        "--lanes", type=int, default=None, metavar="N",
+        help="also measure the lane-batched point with N seed replicates "
+             f"(the committed record uses {LANE_POINT_LANES}); reports "
+             "aggregate and per-lane KIPS plus the batched-vs-scalar "
+             "speedup and digest identity",
+    )
     args = parser.parse_args(argv)
     if args.quick:
         args.repeats = 1
@@ -114,6 +98,18 @@ def main(argv: list[str] | None = None) -> int:
 
     previous = load_bench(args.output)
     results = run_bench(repeats=args.repeats, length=args.length)
+    if args.lanes:
+        lane_rec = run_lane_point(
+            LANE_POINT, lanes=args.lanes, repeats=args.repeats,
+            length=args.length,
+        )
+        results["points"].append(lane_rec)
+        print(
+            f"lane point {lane_rec['name']}: {lane_rec['kips']:.0f} kips "
+            f"aggregate ({lane_rec['kips_per_lane']:.1f}/lane), "
+            f"{lane_rec['speedup_vs_scalar']:.2f}x vs scalar, digests "
+            f"{'match' if lane_rec['digests_match'] else 'DIVERGED'}"
+        )
     print(format_bench(results, previous))
 
     exit_code = 0

@@ -132,7 +132,44 @@ def _cmd_run_checkpoint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run_lanes(args: argparse.Namespace, lanes: int) -> int:
+    """The ``run --lanes N`` path: N seed replicates, lane-batched.
+
+    Seeds ``seed .. seed+N-1`` simulate together through the vectorized
+    lockstep kernel (scalar fallback without numpy — results identical);
+    per-seed stats print individually, throughput reports as aggregate.
+    """
+    import time
+
+    from repro.harness.runner import simulate_batch
+
+    if args.trace or args.profile or args.checkpoint or args.restore:
+        print("--lanes cannot be combined with "
+              "--trace/--profile/--checkpoint/--restore")
+        return 1
+    session = _session_for(args, cache=False)
+    spec = session.spec()
+    seeds = list(range(args.seed, args.seed + lanes))
+    t0 = time.perf_counter()
+    results = simulate_batch(args.workload, spec, session.length, seeds)
+    wall = time.perf_counter() - t0
+    print(f"{args.workload} on {args.machine} ({args.threads} threads), "
+          f"{lanes} lanes (seeds {seeds[0]}..{seeds[-1]})")
+    for seed, stats in zip(seeds, results):
+        print(f"  seed {seed}: useful IPC {stats.useful_ipc:.3f}, "
+              f"cycles {stats.cycles}")
+    total = sum(s.instructions_stepped for s in results)
+    print(f"aggregate sim throughput: {total / wall / 1e3:.1f} kips "
+          f"({total} instructions in {wall:.2f}s across {lanes} lanes)")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness.parallel import resolve_lanes
+
+    lanes = resolve_lanes(args.lanes, group_size=1)
+    if lanes > 1:
+        return _cmd_run_lanes(args, lanes)
     if args.checkpoint or args.restore:
         return _cmd_run_checkpoint(args)
     tracer = None
@@ -260,6 +297,7 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
             max_points=args.points,
             checkpoints=args.checkpoint_dir,
             echo=print,
+            lanes=args.lanes,
         )
     return 0 if summary.done else 1
 
@@ -502,6 +540,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore warmed architectural state from FILE instead of "
              "fast-forwarding (must match the workload and seed)",
     )
+    p.add_argument(
+        "--lanes", type=int, default=None, metavar="N",
+        help="simulate N seed replicates (seeds SEED..SEED+N-1) together "
+             "through the lane-batched kernel and report aggregate "
+             "throughput (default: $REPRO_LANES or 1)",
+    )
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(
@@ -608,6 +652,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--checkpoint-dir", default=None,
             help="warmup checkpoint store for warmed campaigns (default: "
                  "$REPRO_CHECKPOINT_DIR, else no checkpoint reuse)",
+        )
+        sp.add_argument(
+            "--lanes", default=None, metavar="N|auto",
+            help="coalesce seed replicates of each design point into one "
+                 "lane-batched simulation (auto = whole replicate "
+                 "groups; default: $REPRO_LANES or 1)",
         )
         sp.set_defaults(func=_cmd_sweep_run)
 

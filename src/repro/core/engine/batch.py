@@ -1,0 +1,168 @@
+"""Lane-batched lockstep execution: N seed replicates in one vectorized pass.
+
+Sweep campaigns replicate every design point over seeds, and seed
+replicates of one :class:`~repro.core.MachineConfig` share their *static*
+structure completely: the workload body is seed-independent (only dynamic
+addresses, values and branch outcomes differ), so at every trace position
+all replicates fetch the same op class through the same window, rename,
+queue, port and commit constraints.  This module is the entry point that
+exploits that: it steps N single-context engines in lockstep through the
+structure-of-arrays kernel in :mod:`~repro.core.engine.lockstep`, holding
+the hot timestamp state (register ready times, ROB/rename/IQ occupancy,
+fetch and issue-port bookings, the commit-bandwidth counters) with one
+row per lane, so the per-instruction arithmetic of
+:meth:`~repro.core.engine.step.StepMixin._step` runs once per *position*
+instead of once per *lane*.
+
+Stateful components — the cache hierarchy, prefetcher, branch predictor,
+value predictor, selector and measures — stay live on each lane's own
+engine and are invoked through the ordinary scalar methods in short
+per-lane loops (loads, stores and branches are ~15% of a trace), so their
+behaviour is bit-identical by construction.
+
+Results are byte-identical to sequential scalar runs, enforced three ways:
+
+* equivalence arguments per structure (a single non-speculative context
+  makes the scheduler pure lockstep; the rename heap receives monotone
+  commit times and degrades to a FIFO ring; the ROB deque is a ring; the
+  fetch allocator under monotone probes is a ``(cycle, count)`` pair; the
+  issue-port bookings live in a packed tag ring wide enough that no two
+  live cycles alias a slot — guarded at runtime by the observed
+  fetch-to-issue spread);
+* divergence falls out, it is never approximated: the moment a lane's
+  behaviour stops being expressible in lockstep (an MTVP/spawn-only lane
+  spawning a second context), that lane's SoA rows are written back into
+  its engine mid-run and the engine continues scalar, while the remaining
+  lanes keep vectorizing;
+* the golden-digest suite compares batched and scalar stats dicts per
+  seed and per SimMode (see ``tests/test_batch.py``).
+
+numpy is optional: when it is not importable every batched entry point
+falls back to sequential scalar simulation (one warning per process),
+which is trivially identical.
+"""
+
+from __future__ import annotations
+
+import gc
+import warnings
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
+    _np = None
+
+from repro.core.engine.lockstep import _LockstepBatch
+
+#: trace positions spot-checked for cross-lane structural identity; the
+#: full guarantee comes from construction (one workload body unrolled per
+#: seed), the sample catches hand-built engine lists that violate it
+_STRUCT_SAMPLES = 64
+
+_warned_no_numpy = False
+
+
+def have_numpy() -> bool:
+    """Whether the vectorized path is available in this process."""
+    return _np is not None
+
+
+def _warn_no_numpy() -> None:
+    global _warned_no_numpy
+    if not _warned_no_numpy:
+        warnings.warn(
+            "numpy is not importable; lane batching falls back to "
+            "sequential scalar simulation (results are identical)",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        _warned_no_numpy = True
+
+
+def batchable(engine) -> bool:
+    """Whether ``engine`` can join a lockstep lane batch.
+
+    Requires the single-context lockstep property (see
+    :func:`~repro.core.engine.scheduler.lockstep_eligible`), pristine
+    timing state (fresh constructions and post-``fast_forward`` engines
+    qualify; a paused or checkpoint-restored full-scope run does not),
+    and issue-port caps small enough for the packed booking ring.
+    """
+    from repro.core.engine.scheduler import lockstep_eligible
+
+    cfg = engine.config
+    if max(cfg.issue_width, cfg.int_issue, cfg.fp_issue, cfg.mem_issue) > 127:
+        return False
+    return lockstep_eligible(engine) and engine.timing_pristine()
+
+
+def _same_machine(engines) -> bool:
+    first = engines[0]
+    return all(
+        e.config == first.config
+        and len(e.trace) == len(first.trace)
+        and e._contexts[0].pos == first._contexts[0].pos
+        for e in engines[1:]
+    )
+
+
+def _same_structure(engines, verify: str) -> bool:
+    """Cross-lane static-structure check at sampled (or all) positions."""
+    t0 = engines[0].trace
+    start = engines[0]._contexts[0].pos
+    span = len(t0) - start
+    if verify == "full":
+        positions = range(start, len(t0))
+    else:
+        stride = max(1, span // _STRUCT_SAMPLES)
+        positions = list(range(start, len(t0), stride)) + [len(t0) - 1]
+    for k in positions:
+        ref = t0[k]
+        for e in engines[1:]:
+            inst = e.trace[k]
+            if (
+                inst.pc != ref.pc
+                or inst.op is not ref.op
+                or inst.dst != ref.dst
+                or inst.srcs != ref.srcs
+            ):
+                return False
+    return True
+
+
+def run_lockstep(engines, verify: str = "sample"):
+    """Run every engine to completion; returns one SimStats per engine.
+
+    Engines that qualify (see :func:`batchable`, plus identical machine
+    and trace structure) execute through the vectorized lockstep kernel;
+    anything else — including the whole batch when numpy is absent — runs
+    sequentially through the ordinary scalar path.  Results are identical
+    either way.  ``verify="full"`` compares the static structure at every
+    position instead of a sample (tests; costs one full trace walk).
+    """
+    engines = list(engines)
+    if not engines:
+        return []
+    if _np is None:
+        if len(engines) > 1:
+            _warn_no_numpy()
+        return [e.run() for e in engines]
+    if (
+        len(engines) < 2
+        or not all(batchable(e) for e in engines)
+        or not _same_machine(engines)
+        or not _same_structure(engines, verify)
+    ):
+        return [e.run() for e in engines]
+    # the step loop allocates constantly while holding millions of
+    # objects live (N traces of Instruction objects); cyclic-GC passes
+    # over that heap cost more than the collections are worth here
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        _LockstepBatch(engines).advance()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    # finished lanes close their books, diverged lanes continue scalar
+    return [e.run() for e in engines]

@@ -1,0 +1,382 @@
+"""The SoA state and vectorized step loop of the lockstep kernel.
+
+:class:`_LockstepBatch` holds the hot timestamp state of N lanes —
+register ready times, ROB/rename/IQ occupancy, fetch and issue-port
+bookings, commit-bandwidth counters — as structure-of-arrays with one
+row per lane, and drives the whole batch through one step loop so the
+per-instruction arithmetic of
+:meth:`~repro.core.engine.step.StepMixin._step` runs once per *position*
+instead of once per *lane*.  Per-lane scalar phases and the detach path
+live in :mod:`~repro.core.engine.lockstep_lanes`; eligibility and
+dispatch in :mod:`~repro.core.engine.batch`.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import islice
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the batch module gates on numpy
+    _np = None
+
+from repro.core.engine.lockstep_lanes import (
+    _CLASS_SHIFT,
+    _LaneOpsMixin,
+    _QUEUES,
+    _SPREAD_EVERY,
+    _TAG_SHIFT,
+    _TOTAL_SHIFT,
+    _WALK_WINDOW,
+)
+from repro.core.engine.records import _BRANCH, _LOAD, _STORE
+from repro.core.engine.step import decode_static
+
+
+class _LockstepBatch(_LaneOpsMixin):
+    """The SoA state and step loop for one batch of lockstep lanes.
+
+    Arrays indexed by a per-step *slot* (one ROB/rename ring row, one
+    architectural register's ready times) are laid out ``(depth, L)`` so
+    the hot loop touches contiguous rows; the IQ arrays are ``(L, depth)``
+    because their hot operation is a per-lane ``argmin``.
+    """
+
+    def __init__(self, engines) -> None:
+        e0 = engines[0]
+        cfg = e0.config
+        self.engines = list(engines)
+        self.ctxs = [e._contexts[0] for e in engines]
+        self.traces = [e.trace for e in engines]
+        self.base_global = [e._global_fetched for e in engines]
+        self.start_pos = self.ctxs[0].pos
+        self.trace_len = len(e0.trace)
+        qidx = {name: i for i, name in enumerate(_QUEUES)}
+        self.static = [
+            (op, qidx[q], dst, srcs, lat)
+            for op, q, dst, srcs, lat in decode_static(e0.trace, self.start_pos)
+        ]
+        self.rob_size = cfg.rob_size
+        self.iq_size = cfg.iq_size
+        self.rename_regs = cfg.rename_regs
+        self.front_latency = cfg.front_latency
+        self.commit_width = cfg.commit_width
+        self.fetch_cap = cfg.fetch_width
+        self.class_caps = (cfg.int_issue, cfg.fp_issue, cfg.mem_issue)
+        self.total_cap = cfg.issue_width
+        #: per-queue packed issue-ring constants: booking increment (one
+        #: total slot + one class slot), SWAR saturation magic, and the
+        #: two top bits the magic exposes saturation through
+        self.incs = tuple(
+            (1 << _TOTAL_SHIFT) + (1 << _CLASS_SHIFT[qi]) for qi in range(3)
+        )
+        self.magics = tuple(
+            ((128 - self.class_caps[qi]) << _CLASS_SHIFT[qi])
+            + ((128 - self.total_cap) << _TOTAL_SHIFT)
+            for qi in range(3)
+        )
+        self.hibits = tuple(
+            (128 << _CLASS_SHIFT[qi]) + (128 << _TOTAL_SHIFT)
+            for qi in range(3)
+        )
+        self.vp_on = e0._vp_on
+        self.spawn_capable = e0._spawn_capable
+        # issue-ring width: a booking at cycle c may only overwrite a slot
+        # whose old cycle is a full ring behind it, and such a cycle is
+        # already below every future probe (probes start at t_queue, which
+        # only grows) — PROVIDED the fetch->issue spread stays under the
+        # ring width.  Observed spreads run to ~6x mem_latency
+        # (pointer-chase miss chains filling the ROB); the guard detaches
+        # everyone to scalar the moment the spread crosses the limit, and
+        # because one step can add at most one memory round trip plus a
+        # short contention walk, the limit leaves _SPREAD_EVERY steps of
+        # worst-case growth between checks.
+        per_step = 2 * cfg.mem_latency + cfg.front_latency + 256
+        self.ring = 1 << max(
+            16, (_SPREAD_EVERY * per_step + 4096).bit_length()
+        )
+        self.spread_limit = self.ring - _SPREAD_EVERY * per_step
+
+        L = len(engines)
+        i64 = _np.int64
+        ctxs = self.ctxs
+        self.last_fetch = _np.array([c.last_fetch for c in ctxs], dtype=i64)
+        self.resume_at = _np.array([c.resume_at for c in ctxs], dtype=i64)
+        self.last_commit = _np.array([c.last_commit for c in ctxs], dtype=i64)
+        self.commit_cycle = _np.array([c.commit_cycle for c in ctxs], dtype=i64)
+        self.commits_in_cycle = _np.array(
+            [c.commits_in_cycle for c in ctxs], dtype=i64
+        )
+        self.reg_ready = _np.ascontiguousarray(
+            _np.array([c.reg_ready for c in ctxs], dtype=i64).T
+        )
+        self.min_end = _np.array([c.measures_min_end for c in ctxs], dtype=i64)
+        self.fetch_cnt = _np.zeros(L, dtype=i64)
+        self.rob = _np.zeros((self.rob_size, L), dtype=i64)
+        self.ren = _np.zeros((self.rename_regs, L), dtype=i64)
+        self.iqs = [_np.zeros((L, self.iq_size), dtype=i64) for _ in _QUEUES]
+        self.iq_len = [0, 0, 0]
+        #: issue bookings, one packed entry per (lane, cycle mod ring)
+        self.issue_ring = _np.zeros((L, self.ring), dtype=i64)
+        #: contention-walk memo, per queue: ``[walk_base, walk_sel)`` is a
+        #: cycle interval proven fully booked for that lane's queue test.
+        #: Sound because port counts only ever increase — a busy cycle
+        #: stays busy — so the next walk may skip the interval instead of
+        #: re-probing the saturated prefix.
+        self.walk_base = [_np.zeros(L, dtype=i64) for _ in _QUEUES]
+        self.walk_sel = [_np.zeros(L, dtype=i64) for _ in _QUEUES]
+        self._alloc_scratch(L)
+
+        # per-lane component handles, hoisted out of the phase loops
+        self.hiers = [e.hierarchy for e in engines]
+        self.bps = [e.branch_predictor for e in engines]
+        self.preds = [e.predictor for e in engines]
+        self.handlers = [e._handle_load_prediction for e in engines]
+
+        #: shared progress counters (structure is lane-invariant)
+        self.steps = 0
+        self.wcount = 0
+        self.q_acq = [0, 0, 0]
+        self.n_loads = 0
+        self.n_stores = 0
+        self.n_branches = 0
+        self.lanes0 = L
+        self.t0 = time.perf_counter()
+
+    def _alloc_scratch(self, L: int) -> None:
+        """(Re)build the scratch buffers the per-step ufuncs write into."""
+        i64 = _np.int64
+        self._ar = _np.arange(_WALK_WINDOW, dtype=i64)
+        self.rows = _np.arange(L)
+        self.row_off = self.rows * self.ring
+        for name in ("_bt", "_btf", "_btr", "_bti", "_bdr", "_bcy",
+                     "_bs", "_be"):
+            setattr(self, name, _np.empty(L, dtype=i64))
+        self._bb1 = _np.empty(L, dtype=bool)
+        self._bb2 = _np.empty(L, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # the lockstep step loop
+    # ------------------------------------------------------------------
+    def advance(self) -> None:
+        """Step every lane through the trace; detach divergent lanes."""
+        k = self.start_pos
+        while k < self.trace_len and len(self.engines) >= 2:
+            k = self._segment(k)
+        for lane in range(len(self.engines)):
+            self._detach(lane, self.start_pos + self.steps, False)
+        self.engines = []
+
+    def _segment(self, k0: int) -> int:
+        """Run the vector loop from position ``k0`` until a lane detaches.
+
+        Returns the position the next segment starts at.  All hot state
+        is bound to locals here; a detach compresses the arrays, so the
+        caller re-enters to rebind.
+        """
+        np_ = _np
+        maximum = np_.maximum
+        add, subtract, multiply = np_.add, np_.subtract, np_.multiply
+        greater, greater_equal = np_.greater, np_.greater_equal
+        equal, logical_and, logical_xor = (
+            np_.equal, np_.logical_and, np_.logical_xor
+        )
+        bitwise_and, right_shift, left_shift = (
+            np_.bitwise_and, np_.right_shift, np_.left_shift
+        )
+        flatnonzero = np_.flatnonzero
+        rob_size, rename_regs, iq_size = (
+            self.rob_size, self.rename_regs, self.iq_size
+        )
+        front, commit_width, fetch_cap = (
+            self.front_latency, self.commit_width, self.fetch_cap
+        )
+        ring_mask = self.ring - 1
+        spread_limit = self.spread_limit
+        rows, row_off = self.rows, self.row_off
+        engines, ctxs = self.engines, self.ctxs
+        base_global = self.base_global
+        resume_at, reg_ready = self.resume_at, self.reg_ready
+        rob, ren, iqs, iq_len = self.rob, self.ren, self.iqs, self.iq_len
+        fetch_cnt, min_end = self.fetch_cnt, self.min_end
+        ring_flat = self.issue_ring.reshape(-1)
+        cic = self.commits_in_cycle
+        last_fetch, last_commit = self.last_fetch, self.last_commit
+        commit_cycle = self.commit_cycle
+        t, tf, tr = self._bt, self._btf, self._btr
+        cy, s_buf, e_buf = self._bcy, self._bs, self._be
+        ti_scratch, dr_scratch = self._bti, self._bdr
+        b1, b2 = self._bb1, self._bb2
+        q_acq = self.q_acq
+        incs, magics, hibits = self.incs, self.magics, self.hibits
+
+        steps = self.steps
+        wcount = self.wcount
+        n_loads, n_stores, n_branches = (
+            self.n_loads, self.n_stores, self.n_branches
+        )
+        start_pos = self.start_pos
+        stream = islice(self.static, k0 - start_pos, None)
+        for k, (op, qi, dst, srcs, lat) in enumerate(stream, start=k0):
+            n = steps
+
+            # --- fetch gates: redirects, ROB slot, rename reg, IQ slot
+            maximum(last_fetch, resume_at, out=t)
+            if n >= rob_size:
+                maximum(t, rob[n % rob_size], out=t)
+            writes_reg = dst is not None
+            if writes_reg and wcount >= rename_regs:
+                maximum(t, ren[wcount % rename_regs], out=t)
+            iq = iqs[qi]
+            iq_full = iq_len[qi] >= iq_size
+            if iq_full:
+                # the heap pops its minimum entry to free a slot; the
+                # unsorted array pops *a* minimum — same multiset
+                iq_pos = iq.argmin(axis=1)
+                maximum(t, iq[rows, iq_pos], out=t)
+
+            # --- fetch bandwidth: bookings are monotone, so the sparse
+            # allocator dict reduces to its frontier cycle plus a count
+            greater_equal(fetch_cnt, fetch_cap, out=b1)
+            add(last_fetch, b1, out=tf)
+            maximum(t, tf, out=tf)
+            greater(tf, last_fetch, out=b1)
+            fetch_cnt += 1
+            fetch_cnt[b1] = 1
+            self.last_fetch = tf
+            last_fetch, tf = tf, last_fetch  # old array recycled as scratch
+
+            # --- operand ready
+            add(last_fetch, front, out=tr)
+            if op is _LOAD:
+                tq_list = tr.tolist()
+            for src in srcs:
+                maximum(tr, reg_ready[src], out=tr)
+
+            # --- issue ports: one packed gather/scatter books both the
+            # class and the total slot; the SWAR add exposes "some
+            # relevant count is at its cap" as two testable top bits
+            bitwise_and(tr, ring_mask, out=s_buf)
+            s_buf += row_off
+            entry = ring_flat[s_buf]
+            right_shift(entry, _TAG_SHIFT, out=e_buf)
+            equal(e_buf, tr, out=b1)           # live booking at t_ready?
+            multiply(entry, b1, out=entry)     # stale entries read as 0
+            add(entry, magics[qi], out=e_buf)
+            bitwise_and(e_buf, hibits[qi], out=e_buf)
+            equal(e_buf, 0, out=b1)            # class and total both free
+            if b1.all():
+                left_shift(tr, _TAG_SHIFT, out=e_buf)
+                maximum(entry, e_buf, out=entry)  # keep live counts else tag
+                entry += incs[qi]
+                ring_flat[s_buf] = entry
+                t_issue = tr
+            else:
+                # book the free lanes vectorized, walk only the contended
+                left_shift(tr, _TAG_SHIFT, out=e_buf)
+                maximum(entry, e_buf, out=entry)
+                entry += incs[qi]
+                ring_flat[s_buf[b1]] = entry[b1]
+                t_issue = ti_scratch
+                t_issue[:] = tr
+                self._acquire_walk(qi, flatnonzero(~b1), tr, t_issue)
+            q_acq[qi] += 1
+            if iq_full:
+                iq[rows, iq_pos] = t_issue
+            else:
+                iq[:, iq_len[qi]] = t_issue
+                iq_len[qi] += 1
+
+            # --- execute / memory access / prediction / branches
+            spawned = None
+            if op is _LOAD:
+                n_loads += 1
+                t_complete, dr, spawned = self._load_phase(
+                    k, n, tq_list, t_issue.tolist()
+                )
+            elif op is _STORE:
+                n_stores += 1
+                dr = dr_scratch
+                add(t_issue, 1, out=dr)
+                t_complete = dr
+            else:
+                dr = dr_scratch
+                add(t_issue, lat, out=dr)
+                t_complete = dr
+                if op is _BRANCH:
+                    n_branches += 1
+                    self._branch_phase(k, dr)
+
+            # --- writeback
+            if writes_reg:
+                reg_ready[dst] = dr
+
+            # --- commit (in-order, bandwidth-limited), vectorized
+            add(t_complete, 1, out=cy)
+            maximum(cy, last_commit, out=cy)
+            equal(cy, commit_cycle, out=b1)          # same cycle?
+            greater_equal(cic, commit_width, out=b2)
+            logical_and(b1, b2, out=b2)              # over bandwidth?
+            add(cy, b2, out=cy)
+            logical_xor(b1, b2, out=b1)              # same & not over
+            multiply(cic, b1, out=cic)
+            cic += 1
+            # after the first step last_commit == commit_cycle always;
+            # rotate the buffers so neither needs a copy
+            self.last_commit = self.commit_cycle = cy
+            last_commit, cy = cy, last_commit
+            commit_cycle = last_commit
+            t_commit = last_commit
+
+            if op is _LOAD:
+                if spawned:
+                    for lane, record in spawned:
+                        record.load_commit_time = int(t_commit[lane])
+                self._train_phase(k)
+            elif op is _STORE:
+                tc_list = t_commit.tolist()
+                for i, hier in enumerate(self.hiers):
+                    hier.store(self.traces[i][k].addr, tc_list[i])
+
+            rob[n % rob_size] = t_commit
+            if writes_reg:
+                ren[wcount % rename_regs] = t_commit
+                wcount += 1
+            steps = n + 1
+
+            greater_equal(last_fetch, min_end, out=b1)
+            if b1.any():
+                for i in flatnonzero(b1):
+                    eng, ctx = engines[i], ctxs[i]
+                    eng._global_fetched = base_global[i] + steps
+                    eng._finalize_measures(ctx, int(last_fetch[i]))
+                    min_end[i] = ctx.measures_min_end
+
+            if spawned is not None or not steps % _SPREAD_EVERY:
+                subtract(t_issue, last_fetch, out=t)
+                spread = int(t.max())
+                if spawned or spread >= spread_limit:
+                    self.steps, self.wcount = steps, wcount
+                    self.n_loads, self.n_stores, self.n_branches = (
+                        n_loads, n_stores, n_branches
+                    )
+                    self._bcy = cy
+                    out = (
+                        list(range(len(engines)))
+                        if spread >= spread_limit
+                        else [lane for lane, _ in spawned]
+                    )
+                    spawn_rows = {lane for lane, _ in (spawned or ())}
+                    for lane in out:
+                        self._detach(lane, k + 1, lane in spawn_rows)
+                    self._compress(
+                        [i for i in range(len(engines)) if i not in out]
+                    )
+                    return k + 1
+        self.steps, self.wcount = steps, wcount
+        self.n_loads, self.n_stores, self.n_branches = (
+            n_loads, n_stores, n_branches
+        )
+        self._bcy = cy
+        return self.trace_len

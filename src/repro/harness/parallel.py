@@ -13,10 +13,20 @@ Caching composes with parallelism: tasks whose
 pending tasks are deduplicated by key within a batch, and fresh results
 are written back as workers complete.
 
+Lane batching composes with both: tasks that are seed replicates of one
+recipe (equal :func:`~repro.harness.cache.lane_group_key`) coalesce into
+lane groups of up to ``lanes`` tasks, each dispatched as **one** pool task
+that runs the whole group through the vectorized lockstep kernel
+(:func:`~repro.harness.runner.simulate_batch`).  Results stay per-seed:
+cache entries, progress events and the returned stats list are exactly
+those of the ungrouped run.
+
 Environment defaults (used when the corresponding argument is ``None``):
 
 * ``REPRO_JOBS`` — worker process count (unset/1 = serial in-process).
 * ``REPRO_CACHE_DIR`` — result cache directory (unset = no caching).
+* ``REPRO_LANES`` — seed replicates batched per simulation lease
+  (unset/1 = no batching; ``auto``/0 = one lane per replicate).
 """
 
 from __future__ import annotations
@@ -26,7 +36,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 
 from repro.core import SimStats
-from repro.harness.cache import ResultCache, task_key
+from repro.harness.cache import ResultCache, lane_group_key, task_key
 
 #: one simulation request: (workload name, RunSpec, length, seed)
 Task = tuple  # (str, RunSpec, int, int)
@@ -80,6 +90,54 @@ def _run_task(
     )
 
 
+def _run_batch_task(
+    spec, workload_name: str, length: int, seeds: list, checkpoints=None
+) -> list[SimStats]:
+    """Worker entry point for one lane group (must stay picklable).
+
+    Returns one :class:`SimStats` per seed, in seed order — bit-identical
+    to running :func:`_run_task` once per seed.
+    """
+    from repro.harness.runner import simulate_batch
+
+    store = None
+    if checkpoints is not None:
+        from repro.harness.checkpoint import resolve_checkpoints
+
+        store = resolve_checkpoints(checkpoints)
+    return simulate_batch(
+        workload_name, spec, length, seeds, checkpoints=store
+    )
+
+
+def resolve_lanes(lanes, group_size: int | None = None) -> int:
+    """Lane count: explicit ``lanes``, else ``$REPRO_LANES``, else 1.
+
+    ``"auto"`` (or ``0``, or any non-positive count) means "as many lanes
+    as the replicate group has seeds": with ``group_size`` given that
+    bound is returned, otherwise ``0`` — callers treat it as unbounded.
+    """
+    if lanes is None:
+        env = os.environ.get("REPRO_LANES", "").strip()
+        if not env:
+            return 1
+        lanes = env
+    if isinstance(lanes, str):
+        text = lanes.strip().lower()
+        if text == "auto":
+            lanes = 0
+        else:
+            try:
+                lanes = int(text)
+            except ValueError:
+                raise ValueError(
+                    f'lanes must be an integer or "auto", got {lanes!r}'
+                ) from None
+    if lanes <= 0:
+        return group_size if group_size is not None else 0
+    return lanes
+
+
 def resolve_jobs(jobs: int | None) -> int:
     """Worker count: explicit ``jobs``, else ``$REPRO_JOBS``, else serial.
 
@@ -126,6 +184,7 @@ def run_simulations(
     on_error: str = "raise",
     checkpoints=None,
     progress=None,
+    lanes=None,
 ) -> list[SimStats]:
     """Run every task, in parallel when ``jobs > 1``, consulting the cache.
 
@@ -133,6 +192,12 @@ def run_simulations(
         tasks: ``(workload_name, spec, length, seed)`` tuples.
         jobs: Worker processes (see :func:`resolve_jobs`).
         cache: Result cache (see :func:`resolve_cache`).
+        lanes: Seed replicates coalesced per simulation lease (see
+            :func:`resolve_lanes`; ``1`` = no coalescing, ``"auto"``/``0``
+            = whole replicate groups).  Tasks sharing a
+            :func:`~repro.harness.cache.lane_group_key` run together
+            through the lane-batched kernel; results are independent of
+            the grouping, exactly as they are of ``jobs``.
         on_error: ``"raise"`` (default) wraps the first task failure in a
             :class:`SimulationError` identifying the failing task and
             aborts the batch; ``"collect"`` instead places the
@@ -229,38 +294,89 @@ def run_simulations(
         report(indices, "sim")
 
     pending = list(groups.values())
-    if n_jobs > 1 and len(pending) > 1:
-        with ProcessPoolExecutor(max_workers=min(n_jobs, len(pending))) as pool:
+    lane_cap = resolve_lanes(lanes)
+
+    #: dispatch units: each batch is a list of key-groups; singleton
+    #: batches run the ordinary scalar task, longer ones one lane-batched
+    #: simulation covering every key-group's seed
+    batches: list[list[list[int]]] = []
+    if lane_cap != 1 and len(pending) > 1:
+        open_buckets: dict[object, list[list[int]]] = {}
+        for indices in pending:
+            workload_name, spec, length, seed = tasks[indices[0]]
+            try:
+                group = lane_group_key(workload_name, spec, length)
+            except Exception:
+                group = None
+            # an indescribable recipe still groups with itself: replicate
+            # fan-out reuses one spec object across seeds
+            bucket_id = (
+                group if group is not None else (id(spec), workload_name, length)
+            )
+            bucket = open_buckets.get(bucket_id)
+            if bucket is None or (lane_cap > 0 and len(bucket) >= lane_cap):
+                bucket = []
+                open_buckets[bucket_id] = bucket
+                batches.append(bucket)
+            bucket.append(indices)
+    else:
+        batches = [[indices] for indices in pending]
+
+    def finish_batch(batch: list[list[int]], outcome) -> None:
+        if len(batch) == 1:
+            finish(batch[0], outcome)
+        else:
+            for indices, stats in zip(batch, outcome):
+                finish(indices, stats)
+
+    if n_jobs > 1 and len(batches) > 1:
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(batches))) as pool:
             # workers get the store's directory, not the store: paths
             # pickle, and each worker reopens its own handle on it
             ckpt_dir = (
                 str(ckpt_store.directory) if ckpt_store is not None else None
             )
             futures = {}
-            for indices in pending:
-                workload_name, spec, length, seed = tasks[indices[0]]
-                future = pool.submit(
-                    _run_task, spec, workload_name, length, seed, ckpt_dir
-                )
-                futures[future] = indices
+            for batch in batches:
+                workload_name, spec, length, seed = tasks[batch[0][0]]
+                if len(batch) == 1:
+                    future = pool.submit(
+                        _run_task, spec, workload_name, length, seed, ckpt_dir
+                    )
+                else:
+                    seeds = [tasks[indices[0]][3] for indices in batch]
+                    future = pool.submit(
+                        _run_batch_task, spec, workload_name, length, seeds,
+                        ckpt_dir,
+                    )
+                futures[future] = batch
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
+                    batch = futures[future]
                     try:
-                        stats = future.result()
+                        outcome = future.result()
                     except Exception as exc:
-                        fail(futures[future], exc)
+                        fail([i for indices in batch for i in indices], exc)
                     else:
-                        finish(futures[future], stats)
+                        finish_batch(batch, outcome)
     else:
-        for indices in pending:
-            workload_name, spec, length, seed = tasks[indices[0]]
+        for batch in batches:
+            workload_name, spec, length, seed = tasks[batch[0][0]]
             try:
-                stats = _run_task(spec, workload_name, length, seed, ckpt_store)
+                if len(batch) == 1:
+                    outcome = _run_task(
+                        spec, workload_name, length, seed, ckpt_store
+                    )
+                else:
+                    seeds = [tasks[indices[0]][3] for indices in batch]
+                    outcome = _run_batch_task(
+                        spec, workload_name, length, seeds, ckpt_store
+                    )
             except Exception as exc:
-                fail(indices, exc)
+                fail([i for indices in batch for i in indices], exc)
             else:
-                finish(indices, stats)
+                finish_batch(batch, outcome)
 
     return results  # type: ignore[return-value]

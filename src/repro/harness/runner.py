@@ -7,7 +7,7 @@ import os
 from typing import Callable
 
 from repro import select, simulate, vp
-from repro.core import MachineConfig, SimStats
+from repro.core import Engine, MachineConfig, SimStats
 from repro.harness.metrics import percent_speedup
 from repro.select import LoadSelector
 from repro.vp import ValuePredictor
@@ -172,6 +172,69 @@ def run_once(
         metrics=metrics,
         checkpoints=checkpoints,
     )
+
+
+def simulate_batch(
+    workload_name: str,
+    spec: RunSpec,
+    length: int | None = None,
+    seeds: tuple[int, ...] | list[int] = (0,),
+    checkpoints=None,
+) -> list[SimStats]:
+    """Run one spec on one workload for every seed, lane-batched.
+
+    The seed replicates are simulated together through the vectorized
+    lockstep kernel (:func:`repro.core.engine.batch.run_lockstep`) when
+    they qualify — same machine, single-context fast path, numpy
+    importable — and sequentially through the scalar engine otherwise.
+    Results are bit-identical either way and identical to ``[spec.run(w,
+    n, s) for s in seeds]``.
+
+    Observed specs (``observe=True``) always take the scalar path: probes
+    are per-step side effects the batched replay does not reproduce, and
+    the engine correctly refuses to batch them.
+    """
+    from repro.core.engine.batch import run_lockstep
+
+    n = length or default_length()
+    if len(seeds) < 2 or spec.observe:
+        return [
+            spec.run(workload_name, n, s, checkpoints=checkpoints)
+            for s in seeds
+        ]
+    measured = spec.sample if spec.sample is not None else n
+    workload = get_workload(workload_name)
+    traces = workload.trace_many(spec.warmup + measured, seeds)
+    warm = None
+    engines = []
+    for seed, trace in zip(seeds, traces):
+        config = spec.config_factory()
+        if config.warm_caches and warm is None:
+            from repro import _steady_state_footprint
+
+            warm = _steady_state_footprint(workload, config)
+        engine = Engine(
+            trace,
+            config,
+            predictor=spec.predictor_factory(),
+            selector=spec.selector_factory(),
+            warm_addresses=warm if config.warm_caches else None,
+        )
+        if spec.warmup:
+            key = None
+            if checkpoints is not None:
+                from repro.harness.checkpoint import arch_key
+
+                key = arch_key(workload_name, seed, spec.warmup, spec)
+            payload = checkpoints.get(key) if key is not None else None
+            if payload is not None:
+                engine.restore(payload)
+            else:
+                engine.fast_forward(spec.warmup)
+                if key is not None:
+                    checkpoints.put(key, engine.snapshot(scope="arch"))
+        engines.append(engine)
+    return run_lockstep(engines)
 
 
 def run_simulation(

@@ -78,6 +78,10 @@ class Session:
         seed: Dynamic-stream seed.
         jobs: Worker processes for batch methods (see
             :func:`~repro.harness.parallel.resolve_jobs`).
+        lanes: Seed replicates coalesced per lane-batched simulation in
+            batch methods (see
+            :func:`~repro.harness.parallel.resolve_lanes`; default 1 =
+            scalar, ``"auto"`` = whole replicate groups).
         cache: Result cache (see
             :func:`~repro.harness.parallel.resolve_cache`).
         observe: Attach a metrics registry to every run, filling
@@ -105,6 +109,7 @@ class Session:
         length: int | None = None,
         seed: int = 0,
         jobs: int | None = None,
+        lanes=None,
         cache=None,
         observe: bool = False,
         tracer=None,
@@ -119,6 +124,7 @@ class Session:
         self.length = length or default_length()
         self.seed = seed
         self.jobs = jobs
+        self.lanes = lanes
         self.cache = cache
         self.observe = observe
         self.tracer = tracer
@@ -166,6 +172,25 @@ class Session:
         return run_simulations(
             tasks, jobs=self.jobs, cache=self.cache,
             checkpoints=self.checkpoints, progress=progress,
+            lanes=self.lanes,
+        )
+
+    def run_replicates(
+        self, workload: str, seeds: Iterable[int], progress=None
+    ) -> list[SimStats]:
+        """Seed replicates of one workload, lane-batched when enabled.
+
+        With ``lanes`` set (or ``$REPRO_LANES``), the replicates coalesce
+        into lane groups and run through the vectorized lockstep kernel;
+        results are bit-identical to ``[s.run(w) for each seed]`` and
+        cached per seed either way.
+        """
+        spec = self.spec()
+        tasks = [(workload, spec, self.length, s) for s in seeds]
+        return run_simulations(
+            tasks, jobs=self.jobs, cache=self.cache,
+            checkpoints=self.checkpoints, progress=progress,
+            lanes=self.lanes,
         )
 
     def compare(

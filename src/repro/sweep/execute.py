@@ -157,6 +157,7 @@ def run_sweep(
     stale_after: float | None = None,
     heartbeat: float | None = None,
     progress=None,
+    lanes=None,
 ) -> CampaignSummary:
     """Run (or resume) a sweep campaign; see the module docstring.
 
@@ -165,6 +166,11 @@ def run_sweep(
         store: The persistent results store (rows keyed by ``spec.name``).
         jobs: Worker processes per chunk (see
             :func:`~repro.harness.parallel.resolve_jobs`).
+        lanes: Seed replicates coalesced per batched simulation lease
+            (see :func:`~repro.harness.parallel.resolve_lanes`;
+            ``"auto"`` batches each (point × seeds) replicate group into
+            one lane-batched run).  Grouping never changes results — rows
+            are still claimed, cached and committed per seed.
         cache: Result cache (see
             :func:`~repro.harness.parallel.resolve_cache`); strongly
             recommended for campaigns — it de-duplicates baselines across
@@ -236,16 +242,23 @@ def run_sweep(
         for start in range(0, len(todo), chunk):
             batch = todo[start : start + chunk]
             candidates = []
+            # one RunSpec object per design point within the chunk: seed
+            # replicates of a point then share their spec identity, which
+            # is what lets the lane batcher coalesce them into one lease
+            spec_memo: dict[str, object] = {}
             for row in batch:
                 key = (row["point_id"], row["seed"])
                 params = json.loads(row["params"])
                 try:
-                    run_spec = run_spec_for(
-                        params,
-                        name=row["point_id"][:8],
-                        warmup=spec.warmup,
-                        sample=spec.sample,
-                    )
+                    run_spec = spec_memo.get(row["point_id"])
+                    if run_spec is None:
+                        run_spec = run_spec_for(
+                            params,
+                            name=row["point_id"][:8],
+                            warmup=spec.warmup,
+                            sample=spec.sample,
+                        )
+                        spec_memo[row["point_id"]] = run_spec
                 except Exception as exc:  # bad recipe (unknown predictor, ...)
                     if store.claim(
                         spec.name, [key], retries, stale_after=stale_after
@@ -283,7 +296,7 @@ def run_sweep(
                 outcomes = run_simulations(
                     tasks, jobs=jobs, cache=cache, on_error="collect",
                     checkpoints=ckpt_store if ckpt_store is not None else False,
-                    progress=progress,
+                    progress=progress, lanes=lanes,
                 )
             finally:
                 if beat is not None:

@@ -31,7 +31,13 @@ from repro.vp import OraclePredictor, WangFranklinPredictor
 from repro.workloads import get_workload
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_stats.json"
-GOLDEN = json.loads(GOLDEN_PATH.read_text())
+#: scalar fixtures only — entries carrying a "lanes" field describe
+#: lane-batched replicate groups and are exercised by tests/test_batch.py
+GOLDEN = {
+    name: fx
+    for name, fx in json.loads(GOLDEN_PATH.read_text()).items()
+    if "lanes" not in fx
+}
 
 PREDICTORS = {"wang_franklin": WangFranklinPredictor, "oracle": OraclePredictor}
 SELECTORS = {"ilp_pred": IlpPredSelector, "always": AlwaysSelector}
@@ -200,8 +206,15 @@ class TestThroughputLayer:
         committed = load_bench(Path(__file__).parent.parent / "BENCH_engine.json")
         assert committed is not None, "BENCH_engine.json missing at repo root"
         assert committed["schema"] == 1
-        names = {p["name"] for p in committed["points"]}
-        assert names == set(PRE_OPT_REFERENCE_IPS)
+        scalar = {p["name"] for p in committed["points"] if "lanes" not in p}
+        assert scalar == set(PRE_OPT_REFERENCE_IPS)
+        # lane-batched points carry the aggregate/per-lane split and must
+        # never have shipped with a failed batched-vs-scalar identity
+        for p in committed["points"]:
+            if "lanes" in p:
+                assert p["lanes"] > 1
+                assert p["kips_per_lane"] <= p["kips"]
+                assert p["digests_match"] is True
 
     def test_cli_profile_writes_loadable_profile(self, tmp_path, capsys):
         from repro.__main__ import main
