@@ -49,7 +49,37 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
-def _session_for(args: argparse.Namespace, **overrides):
+def _policy_from_args(args: argparse.Namespace, **extra):
+    """An :class:`~repro.harness.ExecutionPolicy` from the execution flags.
+
+    Every subcommand spells execution the same way (``--jobs``,
+    ``--lanes``, ``--dispatch``, ``--workers``, ``--retries``, plus the
+    cache/checkpoint/interval flags where they apply); a flag the
+    subcommand doesn't define simply stays unset on the policy, so the
+    usual environment-variable defaults (``REPRO_JOBS``, ``REPRO_LANES``,
+    ``REPRO_DISPATCH``, ``REPRO_WORKERS``, ``REPRO_CACHE_DIR``, ...) take
+    over.  ``extra`` entries win over flag-derived fields; ``None`` extras
+    are dropped (``False`` — cache off — is preserved).
+    """
+    from repro.harness import ExecutionPolicy
+
+    fields = {}
+    for name in ("jobs", "lanes", "dispatch", "workers", "retries",
+                 "warmup", "sample", "stale_after", "heartbeat"):
+        value = getattr(args, name, None)
+        if value is not None:
+            fields[name] = value
+    if getattr(args, "checkpoint_dir", None) is not None:
+        fields["checkpoints"] = args.checkpoint_dir
+    if getattr(args, "no_cache", False):
+        fields["cache"] = False
+    elif getattr(args, "cache_dir", None) is not None:
+        fields["cache"] = args.cache_dir
+    fields.update({k: v for k, v in extra.items() if v is not None})
+    return ExecutionPolicy(**fields)
+
+
+def _session_for(args: argparse.Namespace, cache=False, **overrides):
     """A :class:`~repro.harness.Session` bound to the common run flags."""
     from repro.harness import Session
 
@@ -60,9 +90,8 @@ def _session_for(args: argparse.Namespace, **overrides):
         selector=args.selector,
         length=length,
         seed=args.seed,
-        warmup=getattr(args, "warmup", 0),
-        sample=getattr(args, "sample", None),
         name=args.machine,
+        policy=_policy_from_args(args, cache=cache),
         **overrides,
     )
 
@@ -165,7 +194,7 @@ def _cmd_run_lanes(args: argparse.Namespace, lanes: int) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.harness.parallel import resolve_lanes
+    from repro.harness import resolve_lanes
 
     lanes = resolve_lanes(args.lanes, group_size=1)
     if lanes > 1:
@@ -287,17 +316,14 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
         spec.warmup = args.warmup
     if getattr(args, "sample", None) is not None:
         spec.sample = args.sample
+    policy = _policy_from_args(args, cache=_resolve_cli_cache(args))
     with store:
         summary = run_sweep(
             spec,
             store,
-            jobs=args.jobs,
-            cache=_resolve_cli_cache(args),
-            retries=args.retries,
             max_points=args.points,
-            checkpoints=args.checkpoint_dir,
             echo=print,
-            lanes=args.lanes,
+            policy=policy,
         )
     return 0 if summary.done else 1
 
@@ -315,6 +341,11 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
         for status, n in counts.items():
             if n:
                 print(f"  {status:8s} {n}")
+        ledger = store.commit_stats(spec.name)
+        if ledger["done"]:
+            print(f"  commits: {ledger['commits']} across "
+                  f"{ledger['done']} done rows "
+                  f"(max {ledger['max_commits']} per row)")
         for row in store.rows(spec.name):
             if row["status"] == "failed":
                 print(f"  failed: {row['workload']} seed {row['seed']} "
@@ -395,17 +426,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import CampaignServer
 
+    from repro.harness import ExecutionPolicy
+
     server = CampaignServer(
         host=args.host,
         port=args.port,
-        workers=args.workers,
+        workers=args.job_threads,
         queue_size=args.queue_size,
         state_dir=args.state_dir,
         cache=args.cache_dir,
         checkpoints=args.checkpoint_dir,
-        jobs=args.jobs,
-        stale_after=args.stale_after,
-        heartbeat=args.heartbeat,
+        policy=ExecutionPolicy(
+            jobs=args.jobs,
+            lanes=args.lanes,
+            dispatch=args.dispatch,
+            workers=args.workers,
+            retries=args.retries,
+            stale_after=args.stale_after,
+            heartbeat=args.heartbeat,
+        ),
     )
 
     async def serve() -> None:
@@ -413,7 +452,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"campaign server listening on {server.url}")
         print(f"  state: {server.runner.state_dir}")
         print(f"  cache: {server.runner.cache.directory}")
-        print(f"  workers: {args.workers}, queue: {args.queue_size}")
+        print(f"  job threads: {args.job_threads}, queue: {args.queue_size}")
         try:
             await server.serve_forever()
         finally:
@@ -546,6 +585,11 @@ def build_parser() -> argparse.ArgumentParser:
              "through the lane-batched kernel and report aggregate "
              "throughput (default: $REPRO_LANES or 1)",
     )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for batch fan-out "
+             "(0 = all cores; default: $REPRO_JOBS or serial)",
+    )
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(
@@ -659,6 +703,30 @@ def build_parser() -> argparse.ArgumentParser:
                  "lane-batched simulation (auto = whole replicate "
                  "groups; default: $REPRO_LANES or 1)",
         )
+        sp.add_argument(
+            "--dispatch", default=None,
+            choices=["auto", "local", "pool", "workers"],
+            help="execution backend: local (in-process serial), pool "
+                 "(process pool), workers (standalone worker processes "
+                 "leasing rows from the store); auto picks pool when "
+                 "--jobs > 1 (default: $REPRO_DISPATCH or auto)",
+        )
+        sp.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="worker processes for --dispatch workers "
+                 "(0 = all cores; default: $REPRO_WORKERS or 2)",
+        )
+        sp.add_argument(
+            "--stale-after", type=float, default=None, metavar="SECONDS",
+            help="seconds without a heartbeat before a running row may "
+                 "be reclaimed from a dead worker (default: 60 under "
+                 "--dispatch workers, else no reclaim)",
+        )
+        sp.add_argument(
+            "--heartbeat", type=float, default=None, metavar="SECONDS",
+            help="lease-refresh period for claimed rows "
+                 "(default: stale-after / 6)",
+        )
         sp.set_defaults(func=_cmd_sweep_run)
 
     sp = ssub.add_parser("status", help="row counts and failures of a campaign")
@@ -710,8 +778,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8712,
                    help="bind port (0 = pick an ephemeral port)")
-    p.add_argument("--workers", type=int, default=2,
-                   help="job worker threads (default: 2)")
+    p.add_argument("--job-threads", type=int, default=2,
+                   help="concurrent job threads (default: 2); each job "
+                        "fans its simulations out per the execution "
+                        "flags below")
     p.add_argument("--queue-size", type=int, default=64,
                    help="pending-job bound; beyond it submissions get 503")
     p.add_argument("--state-dir", default=None,
@@ -726,11 +796,24 @@ def build_parser() -> argparse.ArgumentParser:
                         "$REPRO_CHECKPOINT_DIR, else <state-dir>/checkpoints)")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes per sweep chunk (0 = all cores; "
-                        "multiplies with --workers)")
-    p.add_argument("--stale-after", type=float, default=300.0,
+                        "multiplies with --job-threads)")
+    p.add_argument("--lanes", default=None, metavar="N|auto",
+                   help="lane-batch seed replicates of each sweep point "
+                        "(default: $REPRO_LANES or 1)")
+    p.add_argument("--dispatch", default=None,
+                   choices=["auto", "local", "pool", "workers"],
+                   help="sweep execution backend (see 'sweep run "
+                        "--dispatch'; default: $REPRO_DISPATCH or auto)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="worker processes for --dispatch workers "
+                        "(0 = all cores; default: $REPRO_WORKERS or 2)")
+    p.add_argument("--retries", type=int, default=None, metavar="N",
+                   help="default extra attempts per failed sweep row when "
+                        "a submission doesn't set its own")
+    p.add_argument("--stale-after", type=float, default=None,
                    help="seconds without a heartbeat before a claimed sweep "
                         "row may be reclaimed (default: 300)")
-    p.add_argument("--heartbeat", type=float, default=10.0,
+    p.add_argument("--heartbeat", type=float, default=None,
                    help="heartbeat period for claimed sweep rows "
                         "(default: 10)")
     p.set_defaults(func=_cmd_serve)

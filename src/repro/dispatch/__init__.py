@@ -1,0 +1,20 @@
+"""Dispatchers: where a sweep campaign's simulations execute.
+
+See :mod:`repro.dispatch.base` for the protocol and the mode table;
+:func:`~repro.sweep.run_sweep` picks an implementation from its
+:class:`~repro.harness.policy.ExecutionPolicy` (``dispatch="local" |
+"pool" | "workers" | "auto"``, or a ready-made instance).
+"""
+
+from repro.dispatch.base import Dispatcher, get_dispatcher
+from repro.dispatch.local import LocalDispatcher
+from repro.dispatch.pool import PoolDispatcher
+from repro.dispatch.workers import WorkerDispatcher
+
+__all__ = [
+    "Dispatcher",
+    "LocalDispatcher",
+    "PoolDispatcher",
+    "WorkerDispatcher",
+    "get_dispatcher",
+]

@@ -1,0 +1,53 @@
+"""Process-pool dispatch — the historical ``jobs > 1`` fan-out."""
+
+from __future__ import annotations
+
+import os
+
+from repro.harness.policy import ExecutionPolicy
+from repro.sweep.drain import drain_store, worker_token
+from repro.sweep.store import ResultStore
+
+
+class PoolDispatcher:
+    """Drain the store in-process, fanning each chunk over a pool.
+
+    Chunks of leased rows go through
+    :func:`~repro.harness.parallel.run_simulations` with ``jobs``
+    workers (a ``ProcessPoolExecutor``); claims, commits and heartbeats
+    stay in the coordinating process.  Asking for the pool explicitly
+    while ``jobs`` resolves to 1 means "use every core" — serial callers
+    want ``local`` instead.
+    """
+
+    name = "pool"
+
+    def __init__(self, jobs: int | None = None) -> None:
+        self.jobs = jobs
+
+    def run(
+        self,
+        store: ResultStore,
+        sweep: str,
+        policy: ExecutionPolicy,
+        *,
+        mine: set | None = None,
+        warmup: int = 0,
+        sample: int | None = None,
+        echo=None,
+        progress=None,
+    ) -> dict:
+        jobs = self.jobs if self.jobs is not None else policy.resolved_jobs()
+        if jobs <= 1:
+            jobs = os.cpu_count() or 1
+        return drain_store(
+            store,
+            sweep,
+            policy.merged(jobs=jobs),
+            mine=mine,
+            owner=worker_token(),
+            warmup=warmup,
+            sample=sample,
+            echo=echo,
+            progress=progress,
+        )

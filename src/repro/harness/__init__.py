@@ -35,6 +35,15 @@ from repro.harness.checkpoint import (
 )
 from repro.harness.metrics import geomean_speedup, percent_speedup
 from repro.harness.parallel import SimulationError, run_simulations
+from repro.harness.policy import (
+    DISPATCH_MODES,
+    ExecutionPolicy,
+    resolve_cache,
+    resolve_dispatch,
+    resolve_jobs,
+    resolve_lanes,
+    resolve_workers,
+)
 from repro.harness.runner import (
     ModeResult,
     RunSpec,
@@ -65,6 +74,13 @@ __all__ = [
     "BenchPoint",
     "CheckpointStore",
     "ConfigFactory",
+    "DISPATCH_MODES",
+    "ExecutionPolicy",
+    "resolve_cache",
+    "resolve_dispatch",
+    "resolve_jobs",
+    "resolve_lanes",
+    "resolve_workers",
     "arch_key",
     "default_checkpoint_dir",
     "load_checkpoint",

@@ -21,22 +21,36 @@ that runs the whole group through the vectorized lockstep kernel
 cache entries, progress events and the returned stats list are exactly
 those of the ungrouped run.
 
-Environment defaults (used when the corresponding argument is ``None``):
-
-* ``REPRO_JOBS`` — worker process count (unset/1 = serial in-process).
-* ``REPRO_CACHE_DIR`` — result cache directory (unset = no caching).
-* ``REPRO_LANES`` — seed replicates batched per simulation lease
-  (unset/1 = no batching; ``auto``/0 = one lane per replicate).
+Execution settings (jobs/lanes/cache/checkpoints) are one
+:class:`~repro.harness.policy.ExecutionPolicy` value; the historical
+per-keyword spellings survive as deprecation shims, and the resolvers
+(:func:`resolve_jobs`, :func:`resolve_lanes`, :func:`resolve_cache`) are
+re-exported from :mod:`repro.harness.policy`, where the ``REPRO_*``
+environment defaults are documented in one place.
 """
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from pathlib import Path
 
 from repro.core import SimStats
 from repro.harness.cache import ResultCache, lane_group_key, task_key
+from repro.harness.policy import (
+    UNSET,
+    ExecutionPolicy,
+    resolve_cache,
+    resolve_jobs,
+    resolve_lanes,
+)
+
+__all__ = [
+    "ExecutionPolicy",
+    "SimulationError",
+    "resolve_cache",
+    "resolve_jobs",
+    "resolve_lanes",
+    "run_simulations",
+]
 
 #: one simulation request: (workload name, RunSpec, length, seed)
 Task = tuple  # (str, RunSpec, int, int)
@@ -110,102 +124,39 @@ def _run_batch_task(
     )
 
 
-def resolve_lanes(lanes, group_size: int | None = None) -> int:
-    """Lane count: explicit ``lanes``, else ``$REPRO_LANES``, else 1.
-
-    ``"auto"`` (or ``0``, or any non-positive count) means "as many lanes
-    as the replicate group has seeds": with ``group_size`` given that
-    bound is returned, otherwise ``0`` — callers treat it as unbounded.
-    """
-    if lanes is None:
-        env = os.environ.get("REPRO_LANES", "").strip()
-        if not env:
-            return 1
-        lanes = env
-    if isinstance(lanes, str):
-        text = lanes.strip().lower()
-        if text == "auto":
-            lanes = 0
-        else:
-            try:
-                lanes = int(text)
-            except ValueError:
-                raise ValueError(
-                    f'lanes must be an integer or "auto", got {lanes!r}'
-                ) from None
-    if lanes <= 0:
-        return group_size if group_size is not None else 0
-    return lanes
-
-
-def resolve_jobs(jobs: int | None) -> int:
-    """Worker count: explicit ``jobs``, else ``$REPRO_JOBS``, else serial.
-
-    ``0`` (or any non-positive value) means "all cores".
-    """
-    if jobs is None:
-        env = os.environ.get("REPRO_JOBS", "").strip()
-        if not env:
-            return 1
-        try:
-            jobs = int(env)
-        except ValueError:
-            raise ValueError(
-                f"REPRO_JOBS must be an integer worker count, got {env!r}"
-            ) from None
-    if jobs <= 0:
-        return os.cpu_count() or 1
-    return jobs
-
-
-def resolve_cache(cache) -> ResultCache | None:
-    """Normalize the ``cache`` argument every harness entry point accepts.
-
-    ``None`` consults ``$REPRO_CACHE_DIR`` (unset means no caching);
-    ``False`` disables caching outright; a string/path opens a
-    :class:`ResultCache` there; a :class:`ResultCache` passes through.
-    """
-    if cache is None:
-        env = os.environ.get("REPRO_CACHE_DIR", "").strip()
-        return ResultCache(env) if env else None
-    if cache is False:
-        return None
-    if isinstance(cache, ResultCache):
-        return cache
-    if isinstance(cache, (str, Path)):
-        return ResultCache(cache)
-    raise TypeError(f"cache must be None, False, a path or a ResultCache, not {cache!r}")
-
-
 def run_simulations(
     tasks: list[Task],
-    jobs: int | None = None,
-    cache=None,
+    jobs=UNSET,
+    cache=UNSET,
     on_error: str = "raise",
-    checkpoints=None,
+    checkpoints=UNSET,
     progress=None,
-    lanes=None,
+    lanes=UNSET,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> list[SimStats]:
     """Run every task, in parallel when ``jobs > 1``, consulting the cache.
 
     Args:
         tasks: ``(workload_name, spec, length, seed)`` tuples.
-        jobs: Worker processes (see :func:`resolve_jobs`).
-        cache: Result cache (see :func:`resolve_cache`).
-        lanes: Seed replicates coalesced per simulation lease (see
-            :func:`resolve_lanes`; ``1`` = no coalescing, ``"auto"``/``0``
+        policy: An :class:`~repro.harness.policy.ExecutionPolicy` bundling
+            jobs/lanes/cache/checkpoints; the preferred spelling.  Unset
+            fields defer to the environment (``REPRO_JOBS`` etc.).
+        jobs: Deprecated — worker processes (``policy.jobs``).
+        cache: Deprecated — result cache (``policy.cache``).
+        lanes: Deprecated — seed replicates coalesced per simulation lease
+            (``policy.lanes``; ``1`` = no coalescing, ``"auto"``/``0``
             = whole replicate groups).  Tasks sharing a
             :func:`~repro.harness.cache.lane_group_key` run together
             through the lane-batched kernel; results are independent of
             the grouping, exactly as they are of ``jobs``.
+        checkpoints: Deprecated — warmup-checkpoint store for warmed specs
+            (``policy.checkpoints``).
         on_error: ``"raise"`` (default) wraps the first task failure in a
             :class:`SimulationError` identifying the failing task and
             aborts the batch; ``"collect"`` instead places the
             :class:`SimulationError` in that task's result slot and keeps
             the remaining tasks running — the sweep runner's degraded mode.
-        checkpoints: Warmup-checkpoint store for warmed specs (see
-            :func:`~repro.harness.checkpoint.resolve_checkpoints`);
-            ``None`` defers to ``$REPRO_CHECKPOINT_DIR``.
         progress: Optional callback invoked as each task resolves with a
             dict of ``workload``/``spec``/``length``/``seed``, ``source``
             (``"cache"``, ``"sim"`` or ``"error"``) and the running
@@ -219,11 +170,14 @@ def run_simulations(
     """
     if on_error not in ("raise", "collect"):
         raise ValueError(f'on_error must be "raise" or "collect", not {on_error!r}')
-    from repro.harness.checkpoint import resolve_checkpoints
+    policy = ExecutionPolicy.coalesce(
+        policy, "run_simulations",
+        jobs=jobs, cache=cache, checkpoints=checkpoints, lanes=lanes,
+    )
 
-    cache_obj = resolve_cache(cache)
-    ckpt_store = resolve_checkpoints(checkpoints)
-    n_jobs = resolve_jobs(jobs)
+    cache_obj = policy.resolved_cache()
+    ckpt_store = policy.resolved_checkpoints()
+    n_jobs = policy.resolved_jobs()
 
     results: list[SimStats | SimulationError | None] = [None] * len(tasks)
     keys: list[str | None] = [None] * len(tasks)
@@ -294,7 +248,7 @@ def run_simulations(
         report(indices, "sim")
 
     pending = list(groups.values())
-    lane_cap = resolve_lanes(lanes)
+    lane_cap = policy.resolved_lanes()
 
     #: dispatch units: each batch is a list of key-groups; singleton
     #: batches run the ordinary scalar task, longer ones one lane-batched

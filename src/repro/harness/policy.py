@@ -1,0 +1,282 @@
+"""One execution-policy surface for every way the harness runs things.
+
+Before this module, execution concerns were threaded ad hoc as keyword
+arguments — ``jobs=`` through :func:`~repro.harness.parallel.
+run_simulations`, ``lanes=`` through :class:`~repro.harness.Session`,
+``retries=``/``stale_after=``/``heartbeat=`` through
+:func:`~repro.sweep.run_sweep`, ``cache=``/``checkpoints=`` through all
+of them — and adding a new dispatch mode meant touching every signature
+again.  :class:`ExecutionPolicy` bundles the full answer to *how should
+this work execute* into one value:
+
+* ``jobs`` — worker processes per in-process fan-out,
+* ``lanes`` — seed replicates coalesced per lane-batched lease,
+* ``dispatch`` — ``"local"`` (serial in-process), ``"pool"``
+  (ProcessPoolExecutor), ``"workers"`` (coordinator + standalone worker
+  processes leasing rows from the sweep store), or ``"auto"``,
+* ``workers`` — worker-process count for ``dispatch="workers"``,
+* ``retries`` — extra attempts per failed sweep row,
+* ``cache`` / ``checkpoints`` — the shared result cache and warmup
+  checkpoint store,
+* ``warmup`` / ``sample`` — the interval protocol,
+* ``chunk`` / ``stale_after`` / ``heartbeat`` — commit granularity and
+  the lease-liveness protocol.
+
+Every field defaults to *unset* (``None``), which defers to the matching
+``REPRO_*`` environment variable and then to the historical default, so
+``ExecutionPolicy()`` reproduces the old behaviour exactly.  The legacy
+keywords survive as deprecation shims (:meth:`ExecutionPolicy.coalesce`)
+that warn and fold into a policy — old and new spellings build identical
+task keys and identical results.
+
+Environment defaults (one table, also in README):
+
+=======================  ====================================================
+``REPRO_JOBS``           worker processes (unset/1 = serial, 0 = all cores)
+``REPRO_LANES``          lane-batched seed replicates (unset/1 = scalar,
+                         ``auto``/0 = whole replicate groups)
+``REPRO_DISPATCH``       sweep dispatch mode (``local``/``pool``/``workers``)
+``REPRO_WORKERS``        worker-process count for ``dispatch=workers``
+``REPRO_CACHE_DIR``      result cache directory (unset = no caching)
+``REPRO_CHECKPOINT_DIR`` warmup checkpoint directory (unset = no reuse)
+``REPRO_TRACE_LEN``      default dynamic trace length
+=======================  ====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import warnings
+from pathlib import Path
+
+from repro.harness.cache import ResultCache
+
+#: sentinel distinguishing "keyword not passed" from an explicit ``None``
+#: (``None`` is meaningful almost everywhere: it means "consult the
+#: environment")
+UNSET = type("_Unset", (), {"__repr__": lambda self: "<unset>"})()
+
+#: the legal dispatch modes, in escalation order
+DISPATCH_MODES = ("auto", "local", "pool", "workers")
+
+
+def _env_text(name: str) -> str | None:
+    """A ``REPRO_*`` variable's stripped value, or ``None`` when unset."""
+    raw = os.environ.get(name, "").strip()
+    return raw or None
+
+
+def _parse_count(value, *, what: str, auto: str | None = None) -> int:
+    """The one integer parser behind jobs/lanes/workers resolution.
+
+    ``value`` may be an int or a string (CLI flags and environment
+    variables arrive as text).  ``auto`` names an accepted magic word
+    (parsed as ``0``); errors always name the offending setting and the
+    rejected text.
+    """
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if auto is not None and text == auto:
+            return 0
+        try:
+            return int(text)
+        except ValueError:
+            accepted = f"an integer or \"{auto}\"" if auto else "an integer"
+            raise ValueError(f"{what} must be {accepted}, got {value!r}") from None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{what} must be an integer, got {value!r}")
+    return value
+
+
+def resolve_jobs(jobs) -> int:
+    """Worker count: explicit ``jobs``, else ``$REPRO_JOBS``, else serial.
+
+    ``0`` (or any non-positive value) means "all cores".
+    """
+    if jobs is None:
+        env = _env_text("REPRO_JOBS")
+        if env is None:
+            return 1
+        jobs = _parse_count(env, what="REPRO_JOBS (worker process count)")
+    else:
+        jobs = _parse_count(jobs, what="jobs")
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def resolve_lanes(lanes, group_size: int | None = None) -> int:
+    """Lane count: explicit ``lanes``, else ``$REPRO_LANES``, else 1.
+
+    ``"auto"`` (or ``0``, or any non-positive count) means "as many lanes
+    as the replicate group has seeds": with ``group_size`` given that
+    bound is returned, otherwise ``0`` — callers treat it as unbounded.
+    """
+    if lanes is None:
+        env = _env_text("REPRO_LANES")
+        if env is None:
+            return 1
+        lanes = _parse_count(env, what="REPRO_LANES (lane count)", auto="auto")
+    else:
+        lanes = _parse_count(lanes, what="lanes", auto="auto")
+    if lanes <= 0:
+        return group_size if group_size is not None else 0
+    return lanes
+
+
+def resolve_workers(workers) -> int:
+    """Worker-process count for ``dispatch="workers"``.
+
+    Explicit ``workers``, else ``$REPRO_WORKERS``, else 2; ``0`` (or any
+    non-positive value) means "all cores".
+    """
+    if workers is None:
+        env = _env_text("REPRO_WORKERS")
+        if env is None:
+            return 2
+        workers = _parse_count(env, what="REPRO_WORKERS (worker process count)")
+    else:
+        workers = _parse_count(workers, what="workers")
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def resolve_dispatch(dispatch) -> object:
+    """Dispatch mode: explicit value, else ``$REPRO_DISPATCH``, else auto.
+
+    Accepts a mode name (see :data:`DISPATCH_MODES`) or a ready-made
+    dispatcher object (anything with a ``run`` method — the seam tests
+    and the coordinator use).  ``"auto"`` is resolved by
+    :meth:`ExecutionPolicy.resolved_dispatch` into ``"pool"`` or
+    ``"local"`` depending on the resolved job count.
+    """
+    if dispatch is None:
+        env = _env_text("REPRO_DISPATCH")
+        if env is None:
+            return "auto"
+        dispatch = env
+    if callable(getattr(dispatch, "run", None)):
+        return dispatch
+    if isinstance(dispatch, str):
+        mode = dispatch.strip().lower()
+        if mode in DISPATCH_MODES:
+            return mode
+    raise ValueError(
+        f"dispatch must be one of {'|'.join(DISPATCH_MODES)} "
+        f"(or a Dispatcher instance), got {dispatch!r}"
+    )
+
+
+def resolve_cache(cache) -> ResultCache | None:
+    """Normalize the ``cache`` ingredient every entry point accepts.
+
+    ``None`` consults ``$REPRO_CACHE_DIR`` (unset means no caching);
+    ``False`` disables caching outright; a string/path opens a
+    :class:`ResultCache` there; a :class:`ResultCache` passes through.
+    """
+    if cache is None:
+        env = _env_text("REPRO_CACHE_DIR")
+        return ResultCache(env) if env else None
+    if cache is False:
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    if isinstance(cache, (str, Path)):
+        return ResultCache(cache)
+    raise TypeError(
+        f"cache must be None, False, a path or a ResultCache, not {cache!r}"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionPolicy:
+    """How simulation work should execute, as one immutable value.
+
+    Every field is optional; ``None`` means "unset" and defers to the
+    corresponding environment variable, then the historical default —
+    see the ``resolved_*`` accessors.  ``cache``/``checkpoints`` follow
+    the established resolution convention (``None`` = environment,
+    ``False`` = off, path or store object = use that).
+
+    Policies compose with :meth:`merged` (non-``None`` overrides win),
+    which is how campaign-level defaults, CLI flags and per-call
+    overrides layer without another keyword explosion.
+    """
+
+    jobs: int | None = None
+    lanes: int | str | None = None
+    dispatch: object | None = None
+    workers: int | None = None
+    retries: int | None = None
+    cache: object = None
+    checkpoints: object = None
+    warmup: int | None = None
+    sample: int | None = None
+    chunk: int | None = None
+    stale_after: float | None = None
+    heartbeat: float | None = None
+
+    # ------------------------------------------------------------------
+    def resolved_jobs(self) -> int:
+        return resolve_jobs(self.jobs)
+
+    def resolved_lanes(self, group_size: int | None = None) -> int:
+        return resolve_lanes(self.lanes, group_size)
+
+    def resolved_workers(self) -> int:
+        return resolve_workers(self.workers)
+
+    def resolved_dispatch(self) -> object:
+        """The concrete dispatch mode (``"auto"`` settled by job count)."""
+        mode = resolve_dispatch(self.dispatch)
+        if mode == "auto":
+            return "pool" if self.resolved_jobs() > 1 else "local"
+        return mode
+
+    def resolved_cache(self) -> ResultCache | None:
+        return resolve_cache(self.cache)
+
+    def resolved_checkpoints(self):
+        from repro.harness.checkpoint import resolve_checkpoints
+
+        return resolve_checkpoints(self.checkpoints)
+
+    # ------------------------------------------------------------------
+    def merged(self, **overrides) -> "ExecutionPolicy":
+        """A copy with the given non-``None`` fields replaced.
+
+        ``None`` overrides are ignored (they mean "leave as is"), so
+        layering reads naturally::
+
+            policy.merged(jobs=args.jobs, retries=args.retries)
+        """
+        updates = {k: v for k, v in overrides.items() if v is not None}
+        return dataclasses.replace(self, **updates) if updates else self
+
+    @classmethod
+    def coalesce(cls, policy, api: str, **legacy) -> "ExecutionPolicy":
+        """Fold deprecated per-keyword arguments into one policy.
+
+        ``legacy`` values still carrying :data:`UNSET` were not passed;
+        anything else was, earns one :class:`DeprecationWarning` naming
+        the API and the keywords, and overrides the matching policy
+        field (explicit wins — the caller typed it).
+        """
+        given = {k: v for k, v in legacy.items() if v is not UNSET}
+        if given:
+            warnings.warn(
+                f"{api}: the {sorted(given)} keyword(s) are deprecated; "
+                f"pass policy=ExecutionPolicy(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        base = policy if policy is not None else cls()
+        if not isinstance(base, ExecutionPolicy):
+            raise TypeError(
+                f"policy must be an ExecutionPolicy, not {type(base).__name__}"
+            )
+        if given:
+            base = dataclasses.replace(base, **given)
+        return base

@@ -257,28 +257,35 @@ def compare_modes(
     length: int | None = None,
     seed: int = 0,
     baseline: RunSpec | None = None,
-    jobs: int | None = None,
+    jobs=None,
     cache=None,
+    *,
+    policy=None,
 ) -> dict[str, list[ModeResult]]:
     """Run every spec on every workload against a common baseline.
 
     All ``(workload, spec)`` simulations — including the shared baseline —
     are independent, so they are dispatched as one batch through
     :func:`~repro.harness.parallel.run_simulations`, which fans out over
-    ``jobs`` worker processes and serves repeats from ``cache``.  Results
-    are identical to a serial, uncached run for the same seed.
+    ``policy.jobs`` worker processes and serves repeats from
+    ``policy.cache``.  Results are identical to a serial, uncached run
+    for the same seed.
 
     Args:
-        jobs: Worker processes; ``None`` defers to ``$REPRO_JOBS``
-            (default serial), ``0`` uses every core.
-        cache: ``None`` defers to ``$REPRO_CACHE_DIR`` (default off),
-            ``False`` disables, a path or
-            :class:`~repro.harness.cache.ResultCache` enables.
+        policy: An :class:`~repro.harness.policy.ExecutionPolicy`; unset
+            fields defer to the environment (``$REPRO_JOBS`` default
+            serial, ``0`` every core; ``$REPRO_CACHE_DIR`` default off).
+        jobs/cache: Convenience spellings folded into ``policy`` (they
+            win over it when both are given).
 
     Returns a mapping from spec name to its per-workload results, in the
     order of ``workload_names``.
     """
     from repro.harness.parallel import run_simulations
+    from repro.harness.policy import ExecutionPolicy
+
+    base = policy if policy is not None else ExecutionPolicy()
+    base = base.merged(jobs=jobs, cache=cache)
 
     n = length or default_length()
     base_spec = baseline if baseline is not None else RunSpec(
@@ -287,7 +294,7 @@ def compare_modes(
     tasks = [(name, base_spec, n, seed) for name in workload_names]
     for spec in specs:
         tasks.extend((name, spec, n, seed) for name in workload_names)
-    all_stats = run_simulations(tasks, jobs=jobs, cache=cache)
+    all_stats = run_simulations(tasks, policy=base)
 
     base_ipc = {
         name: stats.useful_ipc

@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Sequence
 from repro.core import MachineConfig, SimStats
 from repro.harness.bench import TABLE1_POINTS, BenchPoint, run_bench
 from repro.harness.parallel import run_simulations
+from repro.harness.policy import UNSET, ExecutionPolicy
 from repro.harness.runner import ModeResult, RunSpec, compare_modes, default_length
 
 
@@ -76,28 +77,32 @@ class Session:
         selector: Registry name (see ``repro.select.names()``) or factory.
         length: Trace length; ``None`` uses the harness default.
         seed: Dynamic-stream seed.
-        jobs: Worker processes for batch methods (see
-            :func:`~repro.harness.parallel.resolve_jobs`).
-        lanes: Seed replicates coalesced per lane-batched simulation in
-            batch methods (see
-            :func:`~repro.harness.parallel.resolve_lanes`; default 1 =
-            scalar, ``"auto"`` = whole replicate groups).
-        cache: Result cache (see
-            :func:`~repro.harness.parallel.resolve_cache`).
+        policy: An :class:`~repro.harness.policy.ExecutionPolicy`
+            bundling jobs/lanes/cache/checkpoints/warmup/sample — the
+            preferred spelling for every execution setting below.
         observe: Attach a metrics registry to every run, filling
             ``stats.extended`` (cached under a distinct key).
         tracer: Optional :class:`repro.obs.Tracer` shared by this
             session's direct runs.  Traced runs bypass the result cache —
             a cache hit would yield stats but no events.
-        warmup: Instructions functionally fast-forwarded before timing
-            starts on every run (0 = the historical full-trace protocol).
-        sample: Measured-interval length overriding ``length`` when set
-            (the warmup+sample protocol; see :class:`RunSpec`).
-        checkpoints: Warmup-checkpoint store (see
-            :func:`~repro.harness.checkpoint.resolve_checkpoints`);
-            warmed runs restore their architectural state from it instead
-            of re-deriving it.
         name: Label used for the underlying :class:`RunSpec`.
+        jobs: Deprecated — worker processes for batch methods
+            (``policy.jobs``; see
+            :func:`~repro.harness.policy.resolve_jobs`).
+        lanes: Deprecated — seed replicates coalesced per lane-batched
+            simulation in batch methods (``policy.lanes``; default 1 =
+            scalar, ``"auto"`` = whole replicate groups).
+        cache: Deprecated — result cache (``policy.cache``; see
+            :func:`~repro.harness.policy.resolve_cache`).
+        warmup: Deprecated — instructions functionally fast-forwarded
+            before timing starts on every run (``policy.warmup``; 0 =
+            the historical full-trace protocol).
+        sample: Deprecated — measured-interval length overriding
+            ``length`` when set (``policy.sample``; the warmup+sample
+            protocol, see :class:`RunSpec`).
+        checkpoints: Deprecated — warmup-checkpoint store
+            (``policy.checkpoints``); warmed runs restore their
+            architectural state from it instead of re-deriving it.
     """
 
     def __init__(
@@ -108,30 +113,57 @@ class Session:
         selector: str | Callable = "ilp-pred",
         length: int | None = None,
         seed: int = 0,
-        jobs: int | None = None,
-        lanes=None,
-        cache=None,
+        jobs=UNSET,
+        lanes=UNSET,
+        cache=UNSET,
         observe: bool = False,
         tracer=None,
-        warmup: int = 0,
-        sample: int | None = None,
-        checkpoints=None,
+        warmup=UNSET,
+        sample=UNSET,
+        checkpoints=UNSET,
         name: str = "session",
+        policy: ExecutionPolicy | None = None,
     ) -> None:
+        policy = ExecutionPolicy.coalesce(
+            policy, "Session",
+            jobs=jobs, lanes=lanes, cache=cache, warmup=warmup,
+            sample=sample, checkpoints=checkpoints,
+        )
+        self.policy = policy
         self.config_factory = _as_config_factory(config)
         self.predictor = predictor
         self.selector = selector
         self.length = length or default_length()
         self.seed = seed
-        self.jobs = jobs
-        self.lanes = lanes
-        self.cache = cache
         self.observe = observe
         self.tracer = tracer
-        self.warmup = warmup
-        self.sample = sample
-        self.checkpoints = checkpoints
         self.name = name
+
+    # -- execution settings live on the policy; these views keep the
+    # -- historical attribute surface intact
+    @property
+    def jobs(self):
+        return self.policy.jobs
+
+    @property
+    def lanes(self):
+        return self.policy.lanes
+
+    @property
+    def cache(self):
+        return self.policy.cache
+
+    @property
+    def checkpoints(self):
+        return self.policy.checkpoints
+
+    @property
+    def warmup(self) -> int:
+        return self.policy.warmup if self.policy.warmup is not None else 0
+
+    @property
+    def sample(self) -> int | None:
+        return self.policy.sample
 
     # ------------------------------------------------------------------
     def spec(self, name: str | None = None) -> RunSpec:
@@ -169,11 +201,7 @@ class Session:
         """
         spec = self.spec()
         tasks = [(w, spec, self.length, self.seed) for w in workloads]
-        return run_simulations(
-            tasks, jobs=self.jobs, cache=self.cache,
-            checkpoints=self.checkpoints, progress=progress,
-            lanes=self.lanes,
-        )
+        return run_simulations(tasks, progress=progress, policy=self.policy)
 
     def run_replicates(
         self, workload: str, seeds: Iterable[int], progress=None
@@ -187,11 +215,7 @@ class Session:
         """
         spec = self.spec()
         tasks = [(workload, spec, self.length, s) for s in seeds]
-        return run_simulations(
-            tasks, jobs=self.jobs, cache=self.cache,
-            checkpoints=self.checkpoints, progress=progress,
-            lanes=self.lanes,
-        )
+        return run_simulations(tasks, progress=progress, policy=self.policy)
 
     def compare(
         self,
@@ -211,8 +235,7 @@ class Session:
             length=self.length,
             seed=self.seed,
             baseline=baseline,
-            jobs=self.jobs,
-            cache=self.cache,
+            policy=self.policy,
         )
 
     def bench(

@@ -39,7 +39,7 @@ from pathlib import Path
 from repro.harness.cache import ResultCache, task_key
 from repro.harness.checkpoint import CheckpointStore, resolve_checkpoints
 from repro.harness.export import result_to_dict
-from repro.harness.parallel import resolve_cache
+from repro.harness.policy import UNSET, ExecutionPolicy, resolve_cache
 from repro.harness.runner import default_length
 from repro.harness.session import Session
 from repro.serve.jobs import Job
@@ -88,14 +88,22 @@ class CampaignRunner:
             defeating its purpose.
         checkpoints: Shared warmup-checkpoint store (same resolution
             rules; defaults into ``state_dir`` too).
-        jobs: Worker *processes* per sweep chunk (``None`` = serial; this
-            multiplies with the server's worker threads, so keep the
-            product near the core count).
-        stale_after: Staleness window (seconds) passed to
-            :func:`~repro.sweep.run_sweep` so concurrent campaigns never
-            steal rows from live workers.
-        heartbeat: Heartbeat period (seconds) for claimed rows; must be
-            well under ``stale_after``.
+        policy: An :class:`~repro.harness.policy.ExecutionPolicy` with
+            the sweep execution settings (jobs/lanes/dispatch/workers/
+            retries, and the lease-liveness protocol).  Unset
+            ``stale_after``/``heartbeat`` default to 300 s / 10 s —
+            the server's worker threads share one store, so campaigns
+            must never run without a staleness window.
+        jobs: Deprecated — worker *processes* per sweep chunk
+            (``policy.jobs``; ``None`` = serial; this multiplies with
+            the server's worker threads, so keep the product near the
+            core count).
+        stale_after: Deprecated — staleness window in seconds
+            (``policy.stale_after``) so concurrent campaigns never steal
+            rows from live workers.
+        heartbeat: Deprecated — heartbeat period in seconds for claimed
+            rows (``policy.heartbeat``); must be well under
+            ``stale_after``.
     """
 
     def __init__(
@@ -103,9 +111,10 @@ class CampaignRunner:
         state_dir: str | Path | None = None,
         cache=None,
         checkpoints=None,
-        jobs: int | None = None,
-        stale_after: float = 300.0,
-        heartbeat: float = 10.0,
+        jobs=UNSET,
+        stale_after=UNSET,
+        heartbeat=UNSET,
+        policy: ExecutionPolicy | None = None,
     ) -> None:
         if state_dir is None:
             self._tmp = tempfile.TemporaryDirectory(prefix="repro-serve-")
@@ -122,9 +131,28 @@ class CampaignRunner:
             resolved_ckpt if resolved_ckpt is not None
             else CheckpointStore(self.state_dir / "checkpoints")
         )
-        self.jobs = jobs
-        self.stale_after = stale_after
-        self.heartbeat = heartbeat
+        policy = ExecutionPolicy.coalesce(
+            policy, "CampaignRunner",
+            jobs=jobs, stale_after=stale_after, heartbeat=heartbeat,
+        )
+        if policy.stale_after is None:
+            policy = policy.merged(stale_after=300.0)
+        if policy.heartbeat is None:
+            policy = policy.merged(heartbeat=10.0)
+        self.policy = policy
+
+    # -- execution settings live on the policy; historical attribute views
+    @property
+    def jobs(self):
+        return self.policy.jobs
+
+    @property
+    def stale_after(self) -> float:
+        return self.policy.stale_after
+
+    @property
+    def heartbeat(self) -> float:
+        return self.policy.heartbeat
 
     # ------------------------------------------------------------------
     # validation / normalization (runs on the submitting thread)
@@ -232,14 +260,16 @@ class CampaignRunner:
             selector=rspec.selector_factory,
             length=payload["length"],
             seed=payload["seed"],
-            jobs=1,
-            cache=self.cache,
-            checkpoints=self.checkpoints,
             observe=payload["observe"] or tracer is not None,
             tracer=tracer,
-            warmup=payload["warmup"],
-            sample=payload["sample"],
             name="serve",
+            policy=ExecutionPolicy(
+                jobs=1,
+                cache=self.cache,
+                checkpoints=self.checkpoints,
+                warmup=payload["warmup"],
+                sample=payload["sample"],
+            ),
         )
 
     def _run_job(self, job: Job) -> dict:
@@ -308,17 +338,16 @@ class CampaignRunner:
             summary = run_sweep(
                 spec,
                 store,
-                jobs=self.jobs,
-                cache=self.cache,
-                retries=job.payload["retries"],
                 max_points=job.payload["max_points"],
-                checkpoints=self.checkpoints,
                 echo=lambda *parts: job.events.emit(
                     "log", message=" ".join(str(p) for p in parts)
                 ),
-                stale_after=self.stale_after,
-                heartbeat=self.heartbeat,
                 progress=lambda info: job.events.emit("progress", **info),
+                policy=self.policy.merged(
+                    retries=job.payload["retries"],
+                    cache=self.cache,
+                    checkpoints=self.checkpoints,
+                ),
             )
         return {
             "sweep": spec.name,

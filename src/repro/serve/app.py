@@ -79,10 +79,12 @@ class CampaignServer:
         runner: A :class:`~repro.serve.api.CampaignRunner`; built with
             ``runner_options`` when omitted.
         workers: Job worker threads (each may itself fan a sweep chunk
-            out over the runner's ``jobs`` processes).
+            out over the runner's execution policy).  Not to be confused
+            with the ``workers`` *dispatch* count — that lives on the
+            runner's :class:`~repro.harness.policy.ExecutionPolicy`.
         queue_size: Pending-job bound; submissions beyond it get 503.
         runner_options: Keyword arguments for the default runner
-            (``state_dir``, ``cache``, ``checkpoints``, ``jobs``, ...).
+            (``state_dir``, ``cache``, ``checkpoints``, ``policy``, ...).
     """
 
     def __init__(

@@ -18,6 +18,7 @@ objects instead of hand-coded experiment functions:
 CLI: ``python -m repro sweep run|status|report|resume <spec>``.
 """
 
+from repro.sweep.drain import drain_store, worker_token
 from repro.sweep.execute import (
     CampaignSummary,
     campaign_rows,
@@ -60,6 +61,7 @@ __all__ = [
     "bootstrap_ci",
     "campaign_rows",
     "default_db_path",
+    "drain_store",
     "export_jsonl",
     "format_markdown",
     "full_report",
@@ -70,4 +72,5 @@ __all__ = [
     "run_spec_for",
     "run_sweep",
     "sweep_result",
+    "worker_token",
 ]

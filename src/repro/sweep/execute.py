@@ -22,67 +22,34 @@ Campaigns may also run *concurrently* against one store (several
 processes, or the campaign server's worker threads): rows are then taken
 through :meth:`~repro.sweep.store.ResultStore.claim` — a conditional
 update that names exactly one winner per row — a ``stale_after`` window
-keeps live claims from being stolen, and a :class:`_Heartbeat` thread
-refreshes ``updated_at`` on claimed rows while their chunk simulates, so
-a slow point is distinguishable from a crashed worker.
+keeps live claims from being stolen, and a heartbeat thread refreshes
+``updated_at`` on claimed rows while their chunk simulates, so a slow
+point is distinguishable from a crashed worker.
+
+*Where* the simulations execute is an
+:class:`~repro.harness.policy.ExecutionPolicy` decision: ``dispatch=
+"local"`` drains serially in this process, ``"pool"`` fans chunks over a
+process pool (the historical ``jobs > 1`` path), and ``"workers"``
+spawns standalone ``repro.sweep.worker`` processes that lease rows
+directly from the store (see :mod:`repro.dispatch` and
+:mod:`repro.sweep.drain`, which owns the shared claim → simulate →
+commit loop).
 """
 
 from __future__ import annotations
 
 import dataclasses
-import json
-import threading
-import time
 from pathlib import Path
 
-from repro.harness.cache import code_version
-from repro.harness.parallel import (
-    SimulationError,
-    resolve_jobs,
-    run_simulations,
-)
-from repro.sweep.spec import SweepSpec, run_spec_for
+from repro.harness.policy import UNSET, ExecutionPolicy
+from repro.sweep.drain import _Heartbeat, drain_store  # noqa: F401  (re-export)
+from repro.sweep.spec import SweepSpec
 from repro.sweep.store import ResultStore
 
 
 def default_db_path(spec_path: str | Path) -> Path:
     """Where a spec's results live by default: ``<spec>.db`` next to it."""
     return Path(spec_path).with_suffix(".db")
-
-
-class _Heartbeat:
-    """Background thread refreshing ``updated_at`` on claimed rows.
-
-    Runs while a chunk simulates (which can dwarf any fixed staleness
-    window on big points), so concurrent campaigns using a ``stale_after``
-    window see the claim as live.  ``stop()`` is idempotent and joins the
-    thread; the final touch races the chunk's own commit harmlessly —
-    :meth:`~repro.sweep.store.ResultStore.touch` only refreshes rows
-    still ``running``.
-    """
-
-    def __init__(
-        self,
-        store: ResultStore,
-        sweep: str,
-        keys: list[tuple[str, int]],
-        interval: float,
-    ) -> None:
-        self._store = store
-        self._sweep = sweep
-        self._keys = keys
-        self._interval = interval
-        self._done = threading.Event()
-        self._thread = threading.Thread(target=self._run, daemon=True)
-        self._thread.start()
-
-    def _run(self) -> None:
-        while not self._done.wait(self._interval):
-            self._store.touch(self._sweep, self._keys)
-
-    def stop(self) -> None:
-        self._done.set()
-        self._thread.join()
 
 
 @dataclasses.dataclass
@@ -147,178 +114,111 @@ def campaign_rows(spec: SweepSpec, max_points: int | None = None) -> list[dict]:
 def run_sweep(
     spec: SweepSpec,
     store: ResultStore,
-    jobs: int | None = None,
-    cache=None,
-    retries: int | None = None,
+    jobs=UNSET,
+    cache=UNSET,
+    retries=UNSET,
     max_points: int | None = None,
-    chunk: int | None = None,
-    checkpoints=None,
+    chunk=UNSET,
+    checkpoints=UNSET,
     echo=None,
-    stale_after: float | None = None,
-    heartbeat: float | None = None,
+    stale_after=UNSET,
+    heartbeat=UNSET,
     progress=None,
-    lanes=None,
+    lanes=UNSET,
+    *,
+    policy: ExecutionPolicy | None = None,
+    dispatch=None,
+    workers: int | None = None,
 ) -> CampaignSummary:
     """Run (or resume) a sweep campaign; see the module docstring.
 
     Args:
         spec: The campaign description.
         store: The persistent results store (rows keyed by ``spec.name``).
-        jobs: Worker processes per chunk (see
-            :func:`~repro.harness.parallel.resolve_jobs`).
-        lanes: Seed replicates coalesced per batched simulation lease
-            (see :func:`~repro.harness.parallel.resolve_lanes`;
-            ``"auto"`` batches each (point × seeds) replicate group into
-            one lane-batched run).  Grouping never changes results — rows
-            are still claimed, cached and committed per seed.
-        cache: Result cache (see
-            :func:`~repro.harness.parallel.resolve_cache`); strongly
-            recommended for campaigns — it de-duplicates baselines across
-            sweeps and makes interrupted chunks free to recompute.
-        retries: Extra attempts per failed row (default: ``spec.retries``).
+        policy: An :class:`~repro.harness.policy.ExecutionPolicy` — the
+            preferred spelling for every execution setting below.
+            ``retries`` defaults to ``spec.retries`` when the policy
+            leaves it unset.
+        dispatch: Where simulations execute: ``"local"`` (serial, this
+            process), ``"pool"`` (process pool, this process),
+            ``"workers"`` (standalone worker subprocesses leasing rows
+            from the store), ``"auto"`` (pool iff jobs resolve > 1), or
+            a ready :class:`~repro.dispatch.Dispatcher` instance.
+            Overrides ``policy.dispatch``.
+        workers: Worker-process count for ``dispatch="workers"``
+            (overrides ``policy.workers``; then ``$REPRO_WORKERS``,
+            then 2).
         max_points: Truncate the expansion to its first N points.
-        chunk: Tasks per commit batch (default scales with ``jobs``);
-            smaller chunks tighten the resume granularity.
-        checkpoints: Warmup-checkpoint store for campaigns with
-            ``spec.warmup`` set (see
-            :func:`~repro.harness.checkpoint.resolve_checkpoints`): the
-            first point pays the functional fast-forward, every later
-            point sharing its architectural axes restores it.  Hit/store
-            counts are echoed with the summary.
         echo: Optional ``print``-like progress callback.
-        stale_after: Seconds after which a ``running`` claim with no
-            heartbeat counts as crashed and may be re-claimed.  ``None``
-            (the single-campaign default) keeps the historical behaviour
-            — every running row is presumed stale — which is correct for
-            resuming after a crash but unsafe when campaigns share a
-            store; concurrent callers must pass a window (and should run
-            with ``heartbeat`` well under it).  When rows this campaign
-            needs are claimed by another live worker, the loop waits for
-            them instead of re-simulating.
-        heartbeat: Seconds between ``updated_at`` touches on claimed
-            rows while a chunk simulates (``None`` = no heartbeat).
         progress: Optional callback receiving per-task progress dicts
             (see :func:`~repro.harness.parallel.run_simulations`).
+        jobs: Deprecated — worker processes per chunk (``policy.jobs``).
+        lanes: Deprecated — seed replicates coalesced per batched
+            simulation lease (``policy.lanes``; ``"auto"`` batches each
+            (point × seeds) replicate group into one lane-batched run).
+            Grouping never changes results — rows are still claimed,
+            cached and committed per seed.
+        cache: Deprecated — result cache (``policy.cache``); strongly
+            recommended for campaigns — it de-duplicates baselines across
+            sweeps and makes interrupted chunks free to recompute.
+        retries: Deprecated — extra attempts per failed row
+            (``policy.retries``).
+        chunk: Deprecated — tasks per commit batch (``policy.chunk``;
+            default scales with ``jobs``); smaller chunks tighten the
+            resume granularity.
+        checkpoints: Deprecated — warmup-checkpoint store for campaigns
+            with ``spec.warmup`` set (``policy.checkpoints``): the first
+            point pays the functional fast-forward, every later point
+            sharing its architectural axes restores it.  Hit/store
+            counts are echoed with the summary.
+        stale_after: Deprecated — seconds after which a ``running``
+            claim with no heartbeat counts as crashed and may be
+            re-claimed (``policy.stale_after``).  ``None`` (the
+            single-campaign default) keeps the historical behaviour —
+            every running row is presumed stale — which is correct for
+            resuming after a crash but unsafe when campaigns share a
+            store; concurrent callers must pass a window (and should run
+            with ``heartbeat`` well under it).  The ``workers`` dispatch
+            mode always applies a window (default 60 s).
+        heartbeat: Deprecated — seconds between ``updated_at`` touches
+            on claimed rows while a chunk simulates
+            (``policy.heartbeat``; ``None`` = no heartbeat).
     """
-    from repro.harness.checkpoint import resolve_checkpoints
+    from repro.dispatch import get_dispatcher
+
+    policy = ExecutionPolicy.coalesce(
+        policy, "run_sweep",
+        jobs=jobs, cache=cache, retries=retries, chunk=chunk,
+        checkpoints=checkpoints, stale_after=stale_after,
+        heartbeat=heartbeat, lanes=lanes,
+    )
+    policy = policy.merged(dispatch=dispatch, workers=workers)
+    if policy.retries is None:
+        policy = policy.merged(retries=spec.retries)
 
     say = echo if echo is not None else (lambda *_: None)
-    if retries is None:
-        retries = spec.retries
-    ckpt_store = resolve_checkpoints(checkpoints) if spec.warmup else None
     rows = campaign_rows(spec, max_points)
     inserted = store.ensure(spec.name, rows)
     mine = {(r["point_id"], r["seed"]) for r in rows}
     say(f"{spec.name}: {len(rows)} rows ({inserted} new)")
 
-    if chunk is None:
-        chunk = max(8, 4 * resolve_jobs(jobs))
-
-    simulated = retried = 0
     initially_done = sum(
         1
         for r in store.rows(spec.name)
         if (r["point_id"], r["seed"]) in mine and r["status"] == "done"
     )
 
-    while True:
-        todo = [
-            r
-            for r in store.runnable(spec.name, retries, stale_after=stale_after)
-            if (r["point_id"], r["seed"]) in mine
-        ]
-        if not todo:
-            if stale_after is not None and any(
-                (r["point_id"], r["seed"]) in mine
-                for r in store.running(spec.name, stale_after=stale_after)
-            ):
-                # another live campaign owns rows we need: wait for it to
-                # commit them (or for its heartbeat to go stale, at which
-                # point runnable() hands them back to us)
-                time.sleep(min(0.2, stale_after / 4))
-                continue
-            break
-        say(f"{spec.name}: {len(todo)} rows to simulate")
-        for start in range(0, len(todo), chunk):
-            batch = todo[start : start + chunk]
-            candidates = []
-            # one RunSpec object per design point within the chunk: seed
-            # replicates of a point then share their spec identity, which
-            # is what lets the lane batcher coalesce them into one lease
-            spec_memo: dict[str, object] = {}
-            for row in batch:
-                key = (row["point_id"], row["seed"])
-                params = json.loads(row["params"])
-                try:
-                    run_spec = spec_memo.get(row["point_id"])
-                    if run_spec is None:
-                        run_spec = run_spec_for(
-                            params,
-                            name=row["point_id"][:8],
-                            warmup=spec.warmup,
-                            sample=spec.sample,
-                        )
-                        spec_memo[row["point_id"]] = run_spec
-                except Exception as exc:  # bad recipe (unknown predictor, ...)
-                    if store.claim(
-                        spec.name, [key], retries, stale_after=stale_after
-                    ):
-                        store.mark_failed(
-                            spec.name, key, f"{type(exc).__name__}: {exc}"
-                        )
-                    continue
-                candidates.append((key, row, run_spec))
-            if not candidates:
-                continue
-            claimed = set(
-                store.claim(
-                    spec.name,
-                    [key for key, _, _ in candidates],
-                    retries,
-                    stale_after=stale_after,
-                )
-            )
-            buildable = [c for c in candidates if c[0] in claimed]
-            if not buildable:
-                continue  # every row lost to a concurrent campaign
-            tasks = [
-                (row["workload"], run_spec, row["length"], row["seed"])
-                for _, row, run_spec in buildable
-            ]
-            simulated += len(tasks)
-            retried += sum(1 for _, row, _ in buildable if row["attempts"] > 0)
-            beat = (
-                _Heartbeat(store, spec.name, sorted(claimed), heartbeat)
-                if heartbeat is not None
-                else None
-            )
-            try:
-                outcomes = run_simulations(
-                    tasks, jobs=jobs, cache=cache, on_error="collect",
-                    checkpoints=ckpt_store if ckpt_store is not None else False,
-                    progress=progress, lanes=lanes,
-                )
-            finally:
-                if beat is not None:
-                    beat.stop()
-            version = code_version()
-            for (key, row, run_spec), outcome in zip(buildable, outcomes):
-                if isinstance(outcome, SimulationError):
-                    store.mark_failed(spec.name, key, str(outcome))
-                    say(f"{spec.name}: FAILED {key[0]} seed {key[1]}: {outcome}")
-                else:
-                    try:
-                        config = dataclasses.asdict(run_spec.config_factory())
-                    except Exception:
-                        config = None
-                    store.mark_done(
-                        spec.name,
-                        key,
-                        outcome.to_dict(),
-                        config=config,
-                        wall_seconds=outcome.wall_seconds,
-                        code_version=version,
-                    )
+    dispatcher = get_dispatcher(policy)
+    counters = dispatcher.run(
+        store,
+        spec.name,
+        policy,
+        mine=mine,
+        warmup=spec.warmup,
+        sample=spec.sample,
+        echo=say,
+        progress=progress,
+    )
 
     final = store.rows(spec.name)
     done = sum(
@@ -334,16 +234,17 @@ def run_sweep(
         total=len(mine),
         done=done,
         failed=failed,
-        simulated=simulated,
+        simulated=counters.get("simulated", 0),
         skipped=initially_done,
-        retried=retried,
+        retried=counters.get("retried", 0),
     )
-    if ckpt_store is not None:
-        # in-process traffic only: with jobs > 1 the workers hold their
-        # own counters, so run serial campaigns to audit checkpoint reuse
+    if counters.get("ckpt_enabled"):
+        # serial local campaigns report exact in-process traffic; pooled
+        # and distributed ones aggregate what their workers reported
         say(
-            f"{spec.name}: warmup checkpoints: {ckpt_store.hits} restored, "
-            f"{ckpt_store.stores} stored"
+            f"{spec.name}: warmup checkpoints: "
+            f"{counters.get('ckpt_hits', 0)} restored, "
+            f"{counters.get('ckpt_stores', 0)} stored"
         )
     say(summary.format())
     return summary

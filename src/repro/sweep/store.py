@@ -25,19 +25,44 @@ same ``(point, seed)``.  Live claims advertise themselves through
 ``updated_at`` heartbeats (:meth:`touch`); a claim only becomes stealable
 again once its heartbeat is older than the caller's ``stale_after``
 window.
+
+Two refinements make the model hold up under distributed workers
+(DESIGN.md §5i):
+
+* **Database-side clock.**  Staleness cutoffs and heartbeat stamps are
+  computed by SQLite *at statement execution time* (:data:`_NOW`), never
+  from a Python ``time.time()`` sampled earlier.  A Python-side stamp
+  can be arbitrarily old by the time the statement runs — a claim
+  blocked a while behind the write lock would otherwise carry a cutoff
+  from *before* a live worker's latest heartbeat and steal its row.
+  With the SQL clock, a ``touch()`` that committed before the claim
+  executes is always visible to the claim's staleness predicate.
+
+* **Owner tokens.**  :meth:`claim` records who holds the lease; the
+  commit-side methods (:meth:`touch`, :meth:`mark_done`,
+  :meth:`mark_failed`, :meth:`release`) are owner-conditional and report
+  whether they fired.  A worker whose lease was reclaimed mid-run
+  cannot double-commit: its ``mark_done`` misses (wrong owner) and the
+  reclaiming worker's commit is the only one.  The ``commits`` column
+  counts landed commits per row, so *every done row has exactly one
+  commit* is a checkable invariant, not an article of faith.
 """
 
 from __future__ import annotations
 
 import sqlite3
 import threading
-import time
 from pathlib import Path
 
 import json
 
 #: the legal row states, in lifecycle order
 STATUSES = ("pending", "running", "done", "failed")
+
+#: wall-clock seconds since the epoch, evaluated by SQLite when the
+#: statement runs (julian day 2440587.5 is 1970-01-01T00:00Z) — immune to
+#: the sampled-too-early races a Python-side timestamp invites
+_NOW = "((julianday('now') - 2440587.5) * 86400.0)"
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
@@ -57,18 +82,35 @@ CREATE TABLE IF NOT EXISTS results (
     wall_seconds REAL    NOT NULL DEFAULT 0.0,
     code_version TEXT,
     updated_at   REAL    NOT NULL DEFAULT 0.0,
+    owner        TEXT,
+    commits      INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (sweep, point_id, seed)
 );
 CREATE INDEX IF NOT EXISTS idx_results_status ON results (sweep, status);
 """
 
+#: columns added after the v1 schema shipped; existing databases are
+#: migrated in place on open
+_MIGRATIONS = {
+    "owner": "ALTER TABLE results ADD COLUMN owner TEXT",
+    "commits": (
+        "ALTER TABLE results ADD COLUMN commits INTEGER NOT NULL DEFAULT 0"
+    ),
+}
+
 #: SQL fragment selecting rows still owed a simulation; parameters are
-#: (retries, stale_after, stale_cutoff) in that order
+#: (retries, stale_after, stale_after) in that order — the staleness
+#: cutoff is ``now - stale_after`` with *now* read from the SQL clock
 _RUNNABLE = (
     "(status = 'pending'"
     " OR (status = 'failed' AND attempts <= ?)"
-    " OR (status = 'running' AND (? IS NULL OR updated_at < ?)))"
+    f" OR (status = 'running' AND (? IS NULL OR updated_at < {_NOW} - ?)))"
 )
+
+#: SQL fragment gating commit-side updates on lease ownership; parameters
+#: are (owner, owner) — ``None`` (the single-campaign legacy path) keeps
+#: the update unconditional
+_OWNED = "(? IS NULL OR owner = ?)"
 
 
 class ResultStore:
@@ -95,6 +137,13 @@ class ResultStore:
                 pass
             self._db.execute(f"PRAGMA busy_timeout={int(busy_timeout * 1000)}")
             self._db.executescript(_SCHEMA)
+            have = {
+                row[1]
+                for row in self._db.execute("PRAGMA table_info(results)")
+            }
+            for column, ddl in _MIGRATIONS.items():
+                if column not in have:
+                    self._db.execute(ddl)
             self._db.commit()
 
     def close(self) -> None:
@@ -122,7 +171,7 @@ class ResultStore:
                     "INSERT OR IGNORE INTO results "
                     "(sweep, point_id, seed, role, idx, workload, length,"
                     " params, status, updated_at) "
-                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, 'pending', ?)",
+                    f"VALUES (?, ?, ?, ?, ?, ?, ?, ?, 'pending', {_NOW})",
                     [
                         (
                             sweep,
@@ -133,7 +182,6 @@ class ResultStore:
                             row["workload"],
                             row["length"],
                             json.dumps(row["params"], sort_keys=True, default=str),
-                            time.time(),
                         )
                         for row in rows
                     ],
@@ -153,12 +201,11 @@ class ResultStore:
         concurrent campaigns pass a window in seconds so rows whose
         owner heartbeat within the window are left alone.
         """
-        now = time.time()
         with self._lock:
             return self._db.execute(
                 f"SELECT * FROM results WHERE sweep = ? AND {_RUNNABLE} "
                 "ORDER BY idx, point_id, seed",
-                (sweep, retries, stale_after, now - (stale_after or 0.0)),
+                (sweep, retries, stale_after, stale_after or 0.0),
             ).fetchall()
 
     def claim(
@@ -167,6 +214,7 @@ class ResultStore:
         keys: list[tuple[str, int]],
         retries: int = 0,
         stale_after: float | None = None,
+        owner: str | None = None,
     ) -> list[tuple[str, int]]:
         """Atomically take ownership of rows; returns the keys actually won.
 
@@ -175,51 +223,64 @@ class ResultStore:
         :meth:`runnable`), so when several workers race for one row the
         rowcount names exactly one winner — the losers simply get a
         shorter list back and must not run those keys.  Claiming
-        increments the attempt count and stamps ``updated_at``, which
-        doubles as the claim's first heartbeat.
+        increments the attempt count, records ``owner`` on the lease, and
+        stamps ``updated_at``, which doubles as the claim's first
+        heartbeat.  Both the stamp and the staleness cutoff come from the
+        SQL clock (:data:`_NOW`), so a heartbeat that landed while this
+        claim waited for the write lock is never mistaken for stale.
         """
         claimed: list[tuple[str, int]] = []
         with self._lock, self._db:
             for pid, seed in keys:
-                now = time.time()
                 cursor = self._db.execute(
                     "UPDATE results SET status = 'running', "
-                    "attempts = attempts + 1, updated_at = ? "
+                    f"attempts = attempts + 1, owner = ?, updated_at = {_NOW} "
                     f"WHERE sweep = ? AND point_id = ? AND seed = ? AND {_RUNNABLE}",
-                    (now, sweep, pid, seed,
-                     retries, stale_after, now - (stale_after or 0.0)),
+                    (owner, sweep, pid, seed,
+                     retries, stale_after, stale_after or 0.0),
                 )
                 if cursor.rowcount:
                     claimed.append((pid, seed))
         return claimed
 
-    def touch(self, sweep: str, keys: list[tuple[str, int]]) -> None:
+    def touch(
+        self,
+        sweep: str,
+        keys: list[tuple[str, int]],
+        owner: str | None = None,
+    ) -> int:
         """Heartbeat: refresh ``updated_at`` on still-running claims.
 
         A worker grinding through a slow point touches its rows
         periodically so a concurrent resume (using a ``stale_after``
         window) cannot mistake them for a crashed claim and steal them.
         Rows that left ``running`` (the worker committed, or someone did
-        steal them) are deliberately not revived.
+        steal them) are deliberately not revived, and with ``owner``
+        given only this worker's own leases are refreshed — a worker
+        whose row was reclaimed must not keep the thief's lease warm.
+        Returns how many leases were actually refreshed (a shortfall
+        tells the worker it lost rows).
         """
         with self._lock, self._db:
+            before = self._db.total_changes
             self._db.executemany(
-                "UPDATE results SET updated_at = ? WHERE sweep = ? "
-                "AND point_id = ? AND seed = ? AND status = 'running'",
-                [(time.time(), sweep, pid, seed) for pid, seed in keys],
+                f"UPDATE results SET updated_at = {_NOW} WHERE sweep = ? "
+                "AND point_id = ? AND seed = ? AND status = 'running' "
+                f"AND {_OWNED}",
+                [(sweep, pid, seed, owner, owner) for pid, seed in keys],
             )
+            return self._db.total_changes - before
 
     def running(
         self, sweep: str, stale_after: float | None = None
     ) -> list[sqlite3.Row]:
         """Rows currently claimed; with ``stale_after``, only live claims."""
-        now = time.time()
         with self._lock:
             return self._db.execute(
                 "SELECT * FROM results WHERE sweep = ? AND status = 'running' "
-                "AND (? IS NULL OR updated_at >= ?) "
+                f"AND (? IS NULL OR updated_at >= {_NOW} - ?) "
                 "ORDER BY idx, point_id, seed",
-                (sweep, stale_after, now - (stale_after or 0.0)),
+                (sweep, stale_after, stale_after or 0.0),
             ).fetchall()
 
     def mark_running(self, sweep: str, keys: list[tuple[str, int]]) -> None:
@@ -232,9 +293,9 @@ class ResultStore:
         with self._lock, self._db:
             self._db.executemany(
                 "UPDATE results SET status = 'running', "
-                "attempts = attempts + 1, updated_at = ? "
+                f"attempts = attempts + 1, updated_at = {_NOW} "
                 "WHERE sweep = ? AND point_id = ? AND seed = ?",
-                [(time.time(), sweep, pid, seed) for pid, seed in keys],
+                [(sweep, pid, seed) for pid, seed in keys],
             )
 
     def mark_done(
@@ -245,36 +306,86 @@ class ResultStore:
         config: dict | None = None,
         wall_seconds: float = 0.0,
         code_version: str | None = None,
-    ) -> None:
-        """Record a completed simulation's stats digest."""
+        owner: str | None = None,
+    ) -> bool:
+        """Record a completed simulation's stats digest.
+
+        With ``owner`` given the commit only lands while this worker
+        still holds the lease; a worker whose row was reclaimed gets
+        ``False`` back and must treat the result as lost (the reclaimer
+        re-simulates and commits instead — exactly once either way).
+        Each landed commit increments the row's ``commits`` counter.
+        """
         with self._lock, self._db:
-            self._db.execute(
+            cursor = self._db.execute(
                 "UPDATE results SET status = 'done', stats = ?, config = ?, "
                 "error = NULL, wall_seconds = ?, code_version = ?, "
-                "updated_at = ? "
-                "WHERE sweep = ? AND point_id = ? AND seed = ?",
+                f"commits = commits + 1, owner = NULL, updated_at = {_NOW} "
+                "WHERE sweep = ? AND point_id = ? AND seed = ? "
+                f"AND {_OWNED}",
                 (
                     json.dumps(stats, sort_keys=True),
                     json.dumps(config, sort_keys=True, default=str)
                     if config else None,
                     wall_seconds,
                     code_version,
-                    time.time(),
                     sweep,
                     key[0],
                     key[1],
+                    owner,
+                    owner,
                 ),
             )
+            return bool(cursor.rowcount)
 
-    def mark_failed(self, sweep: str, key: tuple[str, int], error: str) -> None:
-        """Record a failed attempt (the exception text, truncated sanely)."""
+    def mark_failed(
+        self,
+        sweep: str,
+        key: tuple[str, int],
+        error: str,
+        owner: str | None = None,
+    ) -> bool:
+        """Record a failed attempt (the exception text, truncated sanely).
+
+        Owner-conditional like :meth:`mark_done`: a reclaimed lease's
+        late failure report is dropped (returns ``False``) instead of
+        clobbering the reclaiming worker's live attempt.
+        """
         with self._lock, self._db:
-            self._db.execute(
+            cursor = self._db.execute(
                 "UPDATE results SET status = 'failed', error = ?, "
-                "updated_at = ? "
-                "WHERE sweep = ? AND point_id = ? AND seed = ?",
-                (error[:2000], time.time(), sweep, key[0], key[1]),
+                f"owner = NULL, updated_at = {_NOW} "
+                "WHERE sweep = ? AND point_id = ? AND seed = ? "
+                f"AND {_OWNED}",
+                (error[:2000], sweep, key[0], key[1], owner, owner),
             )
+            return bool(cursor.rowcount)
+
+    def release(
+        self,
+        sweep: str,
+        keys: list[tuple[str, int]],
+        owner: str | None = None,
+    ) -> int:
+        """Hand still-held, not-yet-started leases back to the pool.
+
+        The work-stealing primitive: a worker that claimed a chunk but
+        sees the grid draining returns its unstarted rows to ``pending``
+        so idle peers can claim them.  The claim's attempt increment is
+        undone — a released row was never actually attempted.  Only rows
+        this owner still holds are touched; returns how many came back.
+        """
+        with self._lock, self._db:
+            before = self._db.total_changes
+            self._db.executemany(
+                "UPDATE results SET status = 'pending', "
+                "attempts = attempts - 1, owner = NULL, "
+                f"updated_at = {_NOW} "
+                "WHERE sweep = ? AND point_id = ? AND seed = ? "
+                f"AND status = 'running' AND {_OWNED}",
+                [(sweep, pid, seed, owner, owner) for pid, seed in keys],
+            )
+            return self._db.total_changes - before
 
     # ------------------------------------------------------------------
     def rows(self, sweep: str, role: str | None = None) -> list[sqlite3.Row]:
@@ -303,6 +414,22 @@ class ResultStore:
             ):
                 out[status] = n
         return out
+
+    def commit_stats(self, sweep: str) -> dict[str, int]:
+        """The exactly-once ledger for a sweep, as checkable numbers.
+
+        ``done`` rows each received exactly one :meth:`mark_done` iff
+        ``done == commits`` and ``max_commits <= 1`` — the invariant the
+        distributed CI job greps for after killing and resuming workers.
+        """
+        with self._lock:
+            done, commits, max_commits = self._db.execute(
+                "SELECT COUNT(*), COALESCE(SUM(commits), 0), "
+                "COALESCE(MAX(commits), 0) "
+                "FROM results WHERE sweep = ? AND status = 'done'",
+                (sweep,),
+            ).fetchone()
+        return {"done": done, "commits": commits, "max_commits": max_commits}
 
     def sweeps(self) -> list[str]:
         """Names of every sweep stored in this database."""

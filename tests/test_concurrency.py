@@ -246,6 +246,132 @@ class TestStaleReclaim:
         assert store.counts("s")["done"] == 1
         store.close()
 
+    def test_claim_cutoff_ignores_python_clock_skew(self, tmp_path, monkeypatch):
+        """Regression: the staleness cutoff is computed by the database
+        clock at statement-execution time, never from a ``time.time()``
+        sample taken python-side.  A python-side sample can be arbitrarily
+        stale by the time the claim statement actually executes (it may
+        have waited out a long write lock), which would steal rows whose
+        heartbeat arrived in between.  Skewing ``time.time`` 999 seconds
+        forward must therefore change nothing: the freshly-touched row
+        stays unstealable."""
+        store = ResultStore(tmp_path / "skew.db")
+        store.ensure("s", seed_rows(1, 1))
+        key = ("p0", 0)
+        assert store.claim("s", [key], stale_after=5.0, owner="live") == [key]
+        assert store.touch("s", [key], owner="live") == 1
+        real_time = time.time
+        monkeypatch.setattr(time, "time", lambda: real_time() + 999.0)
+        assert store.claim("s", [key], stale_after=5.0, owner="rival") == []
+        assert store.runnable("s", stale_after=5.0) == []
+        # the live owner's commit still lands, exactly once
+        assert store.mark_done("s", key, {"cycles": 1}, owner="live")
+        assert store.commit_stats("s") == {
+            "done": 1, "commits": 1, "max_commits": 1,
+        }
+        store.close()
+
+    def test_slow_worker_vs_aggressive_reclaim_hammer(self, tmp_path):
+        """A slow worker heartbeats its leases on a short period while
+        three rivals hammer claim() with an aggressive staleness window
+        for many windows' worth of time: the rivals must come away empty,
+        and the slow worker's owner-conditional commits must all land."""
+        path = tmp_path / "aggr.db"
+        store = ResultStore(path)
+        rows = seed_rows(2, 2)
+        store.ensure("s", rows)
+        keys = [(r["point_id"], r["seed"]) for r in rows]
+        assert sorted(store.claim(
+            "s", keys, stale_after=0.2, owner="slow")) == sorted(keys)
+        stop = threading.Event()
+        stolen: list = []
+        errors: list[Exception] = []
+
+        def heartbeat() -> None:
+            while not stop.wait(0.05):
+                store.touch("s", keys, owner="slow")
+
+        def rival(wid: int) -> None:
+            try:
+                with ResultStore(path) as mine:
+                    while not stop.is_set():
+                        got = mine.claim(
+                            "s", keys, stale_after=0.2, owner=f"r{wid}")
+                        stolen.extend(got)
+                        time.sleep(0.01)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=heartbeat)]
+        threads += [threading.Thread(target=rival, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        time.sleep(1.0)  # five windows
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors, f"rival claims raised: {errors}"
+        assert stolen == [], "an actively heartbeating lease was stolen"
+        for key in keys:
+            assert store.mark_done("s", key, {"cycles": 1}, owner="slow")
+        ledger = store.commit_stats("s")
+        assert ledger == {"done": 4, "commits": 4, "max_commits": 1}
+        final = store.rows("s")
+        assert all(r["attempts"] == 1 for r in final)
+        store.close()
+
+
+class TestOwnerConditionalCommits:
+    """Owner tokens: a superseded lease can never commit or heartbeat."""
+
+    def test_stale_owner_cannot_commit_over_the_reclaimer(self, tmp_path):
+        store = ResultStore(tmp_path / "o.db")
+        store.ensure("s", seed_rows(1, 1))
+        key = ("p0", 0)
+        assert store.claim("s", [key], owner="w1") == [key]
+        # w1 goes silent; the row ages out and w2 reclaims it
+        with store._db:
+            store._db.execute(
+                "UPDATE results SET updated_at = updated_at - 120.0")
+        assert store.claim("s", [key], stale_after=60.0, owner="w2") == [key]
+        # w1 wakes up and tries to win the race: every verb is refused
+        assert store.touch("s", [key], owner="w1") == 0
+        assert not store.mark_done("s", key, {"cycles": 7}, owner="w1")
+        assert not store.mark_failed("s", key, "late", owner="w1")
+        # w2's commit is the one that lands — exactly once
+        assert store.mark_done("s", key, {"cycles": 9}, owner="w2")
+        assert store.commit_stats("s") == {
+            "done": 1, "commits": 1, "max_commits": 1,
+        }
+        import json as _json
+
+        (stats_text,) = [r["stats"] for r in store.rows("s")]
+        assert _json.loads(stats_text)["cycles"] == 9
+        store.close()
+
+    def test_release_returns_rows_to_the_pool_without_an_attempt(
+        self, tmp_path
+    ):
+        """Work shedding: releasing an unstarted lease puts the row back
+        to pending and refunds the attempt, so a stolen row doesn't burn
+        the retry budget."""
+        store = ResultStore(tmp_path / "r.db")
+        store.ensure("s", seed_rows(1, 2))
+        keys = [("p0", 0), ("p0", 1)]
+        assert sorted(store.claim("s", keys, owner="w1")) == sorted(keys)
+        assert store.release("s", [("p0", 1)], owner="w1") == 1
+        # a wrong-owner release is refused
+        assert store.release("s", [("p0", 0)], owner="rival") == 0
+        counts = store.counts("s")
+        assert counts["pending"] == 1 and counts["running"] == 1
+        # the released row is claimable immediately, at attempt 1 again
+        assert store.claim("s", [("p0", 1)], owner="w2") == [("p0", 1)]
+        attempts = {
+            (r["point_id"], r["seed"]): r["attempts"] for r in store.rows("s")
+        }
+        assert attempts == {("p0", 0): 1, ("p0", 1): 1}
+        store.close()
+
 
 def _stats() -> SimStats:
     stats = SimStats()

@@ -1,0 +1,297 @@
+"""The ExecutionPolicy surface: resolvers, merging, deprecation shims.
+
+The API-redesign contract (DESIGN.md §5i): every entry point —
+:class:`~repro.harness.Session`, :func:`~repro.harness.run_simulations`,
+:func:`~repro.sweep.run_sweep`, :class:`~repro.serve.api.CampaignRunner`
+— accepts ``policy=ExecutionPolicy(...)`` as the preferred spelling of
+its execution settings, the old per-keyword spellings keep working
+behind a :class:`DeprecationWarning`, and **old and new spellings are
+observationally identical**: same task keys (so caches warmed under one
+spelling serve the other) and same results.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.harness.cache import task_key
+from repro.harness.policy import (
+    DISPATCH_MODES,
+    UNSET,
+    ExecutionPolicy,
+    resolve_dispatch,
+    resolve_jobs,
+    resolve_lanes,
+    resolve_workers,
+)
+
+
+class TestResolveJobs:
+    def test_unset_without_env_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_env_supplies_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs(None) == 4
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs(3) == 3
+
+    def test_zero_means_all_cores(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_env_garbage_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match=r"REPRO_JOBS.*'many'"):
+            resolve_jobs(None)
+
+    def test_bool_is_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(True)
+
+
+class TestResolveLanes:
+    def test_unset_without_env_is_scalar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LANES", raising=False)
+        assert resolve_lanes(None) == 1
+
+    def test_auto_means_whole_group(self):
+        assert resolve_lanes("auto", group_size=5) == 5
+        assert resolve_lanes("auto") == 0  # unbounded without a group
+
+    def test_env_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LANES", "auto")
+        assert resolve_lanes(None, group_size=3) == 3
+
+    def test_garbage_names_the_setting(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LANES", "wide")
+        with pytest.raises(ValueError, match=r"REPRO_LANES.*'wide'"):
+            resolve_lanes(None)
+
+
+class TestResolveWorkers:
+    def test_unset_without_env_defaults_to_two(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 2
+
+    def test_env_and_all_cores(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+
+class TestResolveDispatch:
+    def test_unset_without_env_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DISPATCH", raising=False)
+        assert resolve_dispatch(None) == "auto"
+
+    def test_env_supplies_the_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISPATCH", "workers")
+        assert resolve_dispatch(None) == "workers"
+
+    def test_names_are_normalized(self):
+        assert resolve_dispatch(" POOL ") == "pool"
+        for mode in DISPATCH_MODES:
+            assert resolve_dispatch(mode) == mode
+
+    def test_dispatcher_instances_pass_through(self):
+        class Fake:
+            def run(self, *a, **k):
+                return {}
+
+        fake = Fake()
+        assert resolve_dispatch(fake) is fake
+
+    def test_garbage_lists_the_modes(self):
+        with pytest.raises(ValueError, match="local.*pool.*workers"):
+            resolve_dispatch("cloud")
+
+
+class TestExecutionPolicy:
+    def test_blank_policy_reproduces_historical_defaults(self, monkeypatch):
+        for var in ("REPRO_JOBS", "REPRO_LANES", "REPRO_DISPATCH",
+                    "REPRO_WORKERS", "REPRO_CACHE_DIR"):
+            monkeypatch.delenv(var, raising=False)
+        policy = ExecutionPolicy()
+        assert policy.resolved_jobs() == 1
+        assert policy.resolved_lanes() == 1
+        assert policy.resolved_workers() == 2
+        assert policy.resolved_dispatch() == "local"
+        assert policy.resolved_cache() is None
+
+    def test_auto_dispatch_follows_job_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DISPATCH", raising=False)
+        assert ExecutionPolicy(jobs=1).resolved_dispatch() == "local"
+        assert ExecutionPolicy(jobs=4).resolved_dispatch() == "pool"
+
+    def test_merged_ignores_none_and_overrides_rest(self):
+        base = ExecutionPolicy(jobs=2, retries=1)
+        merged = base.merged(jobs=None, retries=3, workers=5)
+        assert merged.jobs == 2
+        assert merged.retries == 3
+        assert merged.workers == 5
+        assert base.merged() is base  # no-op merge allocates nothing
+
+    def test_policy_is_immutable(self):
+        import dataclasses
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ExecutionPolicy().jobs = 9  # type: ignore[misc]
+
+    def test_coalesce_without_legacy_kwargs_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            policy = ExecutionPolicy.coalesce(
+                ExecutionPolicy(jobs=2), "api", jobs=UNSET, cache=UNSET
+            )
+        assert policy.jobs == 2
+
+    def test_coalesce_warns_naming_api_and_keywords(self):
+        with pytest.warns(DeprecationWarning, match=r"api:.*'cache'.*'jobs'"):
+            policy = ExecutionPolicy.coalesce(
+                None, "api", jobs=3, cache=False, lanes=UNSET
+            )
+        assert policy.jobs == 3
+        assert policy.cache is False
+        assert policy.lanes is None
+
+    def test_coalesce_explicit_keyword_beats_policy_field(self):
+        with pytest.warns(DeprecationWarning):
+            policy = ExecutionPolicy.coalesce(
+                ExecutionPolicy(jobs=8), "api", jobs=1
+            )
+        assert policy.jobs == 1
+
+    def test_coalesce_rejects_non_policy(self):
+        with pytest.raises(TypeError, match="ExecutionPolicy"):
+            ExecutionPolicy.coalesce({"jobs": 2}, "api")
+
+
+class TestDeprecationShims:
+    """Every entry point: legacy keywords warn, policy= does not."""
+
+    def test_session_legacy_keywords_warn(self):
+        from repro.harness import Session
+
+        with pytest.warns(DeprecationWarning, match=r"Session:.*'jobs'"):
+            session = Session(jobs=2, cache=False)
+        assert session.policy.jobs == 2
+        assert session.policy.cache is False
+
+    def test_session_policy_spelling_is_silent(self):
+        from repro.harness import Session
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            session = Session(policy=ExecutionPolicy(jobs=2, cache=False))
+        assert session.policy.jobs == 2
+
+    def test_run_simulations_legacy_keywords_warn(self):
+        from repro.harness import run_simulations
+
+        with pytest.warns(DeprecationWarning, match=r"run_simulations:"):
+            run_simulations([], jobs=1)
+
+    def test_run_sweep_legacy_keywords_warn(self, tmp_path):
+        from repro.sweep import ResultStore, run_sweep
+        from repro.sweep.spec import SweepSpec
+
+        spec = _tiny_spec("shim")
+        with ResultStore(tmp_path / "s.db") as store:
+            with pytest.warns(DeprecationWarning, match=r"run_sweep:.*'jobs'"):
+                summary = run_sweep(spec, store, jobs=1, cache=False)
+        assert summary.complete
+
+    def test_campaign_runner_legacy_keywords_warn(self, tmp_path):
+        from repro.serve.api import CampaignRunner
+
+        with pytest.warns(DeprecationWarning, match=r"CampaignRunner:"):
+            runner = CampaignRunner(state_dir=tmp_path, jobs=2)
+        assert runner.policy.jobs == 2
+        # the lease-liveness defaults survive the policy rewrite
+        assert runner.stale_after == 300.0
+        assert runner.heartbeat == 10.0
+
+
+def _tiny_spec(name: str):
+    from repro.sweep.spec import SweepSpec
+
+    return SweepSpec.from_dict({
+        "name": name,
+        "axes": {"spawn_latency": [1]},
+        "base": {"machine": "mtvp", "threads": 2,
+                 "predictor": "wang-franklin"},
+        "workloads": ["mcf"],
+        "seeds": [0],
+        "lengths": [300],
+    })
+
+
+class TestOldNewEquivalence:
+    """Old and new spellings: identical task keys, identical results."""
+
+    def test_task_keys_are_identical_across_spellings(self):
+        from repro.harness import Session
+
+        with pytest.warns(DeprecationWarning):
+            legacy = Session(
+                predictor="wang-franklin", length=400,
+                jobs=2, cache=False, warmup=100, sample=200,
+            )
+        modern = Session(
+            predictor="wang-franklin", length=400,
+            policy=ExecutionPolicy(jobs=2, cache=False,
+                                   warmup=100, sample=200),
+        )
+        key_legacy = task_key("mcf", legacy.spec(), legacy.length, 0)
+        key_modern = task_key("mcf", modern.spec(), modern.length, 0)
+        assert key_legacy == key_modern
+
+    def test_results_and_cache_are_shared_across_spellings(self, tmp_path):
+        """A cache warmed by the legacy spelling serves the policy
+        spelling without a single new simulation — the strongest form of
+        'same task keys'."""
+        from repro.harness import ResultCache, Session
+
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.warns(DeprecationWarning):
+            legacy = Session(predictor="wang-franklin", length=400,
+                             cache=cache, jobs=1)
+        stats_legacy = legacy.run_many(["mcf", "crafty"])
+        misses_after_fill = cache.misses
+
+        modern = Session(predictor="wang-franklin", length=400,
+                         policy=ExecutionPolicy(cache=cache, jobs=1))
+        stats_modern = modern.run_many(["mcf", "crafty"])
+        assert cache.misses == misses_after_fill, (
+            "the policy spelling missed a cache entry the legacy "
+            "spelling wrote — task keys diverged")
+        for a, b in zip(stats_legacy, stats_modern):
+            assert a.cycles == b.cycles
+            assert a.useful_ipc == b.useful_ipc
+
+    def test_run_sweep_spellings_agree(self, tmp_path):
+        """One campaign per spelling, separate stores: byte-identical
+        reports."""
+        from repro.sweep import ResultStore, aggregate, full_report, run_sweep
+
+        spec = _tiny_spec("equiv")
+        with ResultStore(tmp_path / "old.db") as store:
+            with pytest.warns(DeprecationWarning):
+                run_sweep(spec, store, jobs=1, cache=False, retries=0)
+            rows_old = store.rows("equiv")
+        with ResultStore(tmp_path / "new.db") as store:
+            run_sweep(spec, store,
+                      policy=ExecutionPolicy(jobs=1, cache=False, retries=0))
+            rows_new = store.rows("equiv")
+        assert full_report("equiv", aggregate(rows_old)) == \
+            full_report("equiv", aggregate(rows_new))
