@@ -329,6 +329,10 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sweep import axis_progress
+
     spec, store = _sweep_spec_and_store(args)
     with store:
         counts = store.counts(spec.name)
@@ -337,20 +341,54 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
             print(f"sweep {spec.name}: no rows recorded yet "
                   f"(run: python -m repro sweep run {args.spec})")
             return 1
+        rows = store.rows(spec.name)
+        ledger = store.commit_stats(spec.name)
+        axes = axis_progress(spec.axes, rows)
+        failures = [
+            {
+                "workload": row["workload"],
+                "seed": row["seed"],
+                "params": row["params"],
+                "attempts": row["attempts"],
+                "error": row["error"],
+            }
+            for row in rows
+            if row["status"] == "failed"
+        ]
+        if getattr(args, "json", False):
+            print(json.dumps({
+                "sweep": spec.name,
+                "db": str(store.path),
+                "total": total,
+                "counts": counts,
+                "commits": ledger,
+                "axes": {
+                    axis: {
+                        value: {"done": done, "total": n}
+                        for value, (done, n) in per.items()
+                    }
+                    for axis, per in axes.items()
+                },
+                "failed": failures,
+            }, indent=2, sort_keys=True))
+            return 0
         print(f"sweep {spec.name} ({store.path}): {total} rows")
         for status, n in counts.items():
             if n:
                 print(f"  {status:8s} {n}")
-        ledger = store.commit_stats(spec.name)
         if ledger["done"]:
             print(f"  commits: {ledger['commits']} across "
                   f"{ledger['done']} done rows "
                   f"(max {ledger['max_commits']} per row)")
-        for row in store.rows(spec.name):
-            if row["status"] == "failed":
-                print(f"  failed: {row['workload']} seed {row['seed']} "
-                      f"[{row['params']}] after {row['attempts']} attempt(s): "
-                      f"{row['error']}")
+        for axis, per in axes.items():
+            parts = " ".join(
+                f"{value}: {done}/{n}" for value, (done, n) in per.items()
+            )
+            print(f"  axis {axis}: {parts}")
+        for failure in failures:
+            print(f"  failed: {failure['workload']} seed {failure['seed']} "
+                  f"[{failure['params']}] after {failure['attempts']} "
+                  f"attempt(s): {failure['error']}")
     return 0
 
 
@@ -385,6 +423,98 @@ def _cmd_sweep_report(args: argparse.Namespace) -> int:
         if args.jsonl:
             export_jsonl(aggregates, args.jsonl)
             print(f"wrote {args.jsonl}")
+    return 0
+
+
+def _search_spec_and_store(args: argparse.Namespace):
+    from repro.search import load_search_spec
+    from repro.sweep import ResultStore, default_db_path
+
+    spec = load_search_spec(args.spec)
+    store = ResultStore(args.db or default_db_path(args.spec))
+    return spec, store
+
+
+def _cmd_search_run(args: argparse.Namespace) -> int:
+    from repro.search import run_search
+
+    spec, store = _search_spec_and_store(args)
+    policy = _policy_from_args(args, cache=_resolve_cli_cache(args))
+    with store:
+        summary = run_search(
+            spec,
+            store,
+            policy=policy,
+            max_points=args.points,
+            echo=print,
+        )
+    return 0 if summary.complete else 1
+
+
+def _cmd_search_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.search import search_result
+
+    spec, store = _search_spec_and_store(args)
+    with store:
+        summary = search_result(spec, store, max_points=args.points)
+        if not summary.total:
+            print(f"search {spec.name}: no rows recorded yet "
+                  f"(run: python -m repro search run {args.spec})")
+            return 1
+        if getattr(args, "json", False):
+            print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+            return 0
+        print(f"search {spec.name} ({store.path}): "
+              f"{summary.done}/{summary.total} rows done across "
+              f"{len(summary.rungs)}/{len(spec.rungs)} rung(s)")
+        for outcome in summary.rungs:
+            decision = outcome.decision
+            verdict = (
+                f"promoted {len(decision.promoted)}/{outcome.points_in}"
+                if decision is not None
+                else "incomplete"
+            )
+            with_extras = (
+                f", {outcome.extra_rounds} extra seed round(s)"
+                if outcome.extra_rounds
+                else ""
+            )
+            print(f"  rung {outcome.index}: "
+                  f"{outcome.rows_done}/{outcome.rows_total} rows done, "
+                  f"{verdict}{with_extras}")
+            ledger = store.commit_stats(outcome.sweep)
+            if ledger["done"]:
+                print(f"    commits: {ledger['commits']} across "
+                      f"{ledger['done']} done rows "
+                      f"(max {ledger['max_commits']} per row)")
+        if summary.winner is not None:
+            print(f"  winner: {summary.winner['point_id']} "
+                  f"({summary.objective} {summary.winner['value']:+.2f}%) "
+                  f"at {100 * summary.cost_fraction:.0f}% of grid cost")
+        else:
+            print("  winner: (pending — final rung incomplete)")
+    return 0
+
+
+def _cmd_search_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.search import format_search_report, search_result
+
+    spec, store = _search_spec_and_store(args)
+    with store:
+        summary = search_result(spec, store, max_points=args.points)
+        if not summary.total:
+            print(f"search {spec.name}: no results to report")
+            return 1
+        if getattr(args, "json", None):
+            with open(args.json, "w") as fh:
+                json.dump(summary.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        print(format_search_report(spec, summary), end="")
     return 0
 
 
@@ -480,6 +610,11 @@ def _cmd_client(args: argparse.Namespace) -> int:
 
             spec = load_spec(args.spec)
             ack = client.submit_sweep({"spec": spec.to_dict()})
+        elif args.client_command == "search":
+            from repro.search import load_search_spec
+
+            spec = load_search_spec(args.spec)
+            ack = client.submit_search({"spec": spec.to_dict()})
         elif args.client_command == "status":
             print(json.dumps(client.job(args.job), indent=2, sort_keys=True))
             return 0
@@ -731,6 +866,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = ssub.add_parser("status", help="row counts and failures of a campaign")
     _sweep_common(sp)
+    sp.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable status (counts, per-axis progress, "
+             "commit ledger, failures) instead of text",
+    )
     sp.set_defaults(func=_cmd_sweep_status)
 
     sp = ssub.add_parser(
@@ -745,6 +885,101 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--jsonl", default=None,
                     help="also write one JSON object per point to this path")
     sp.set_defaults(func=_cmd_sweep_report)
+
+    p = sub.add_parser(
+        "search",
+        help="adaptive design-space search: successive halving with "
+             "bandit seed allocation over a sweep grid (specs under sweeps/)",
+    )
+    hsub = p.add_subparsers(dest="search_command", required=True)
+
+    def _search_common(sp):
+        sp.add_argument("spec", help="search spec file (.toml or .json)")
+        sp.add_argument(
+            "--db", default=None,
+            help="results database (default: <spec>.db next to the spec); "
+                 "rungs live in it as {search}:rung{i} sweeps",
+        )
+        sp.add_argument(
+            "--points", type=int, default=None, metavar="N",
+            help="limit the search to the grid's first N design points",
+        )
+
+    for verb, extra_help in (
+        ("run", "run a search (each rung resumes from rows already done)"),
+        ("resume", "alias of run: finish a killed search with zero "
+                   "re-simulation of committed rows"),
+    ):
+        sp = hsub.add_parser(verb, help=extra_help)
+        _search_common(sp)
+        sp.add_argument(
+            "--retries", type=int, default=None, metavar="N",
+            help="extra attempts per failed row (default: the embedded "
+                 "sweep's)",
+        )
+        sp.add_argument(
+            "--jobs", type=int, default=None,
+            help="worker processes (0 = all cores; default: $REPRO_JOBS)",
+        )
+        sp.add_argument("--no-cache", action="store_true",
+                        help="recompute instead of using the result cache")
+        sp.add_argument(
+            "--cache-dir", default=None,
+            help="result cache directory (default: $REPRO_CACHE_DIR or "
+                 "~/.cache/repro)",
+        )
+        sp.add_argument(
+            "--checkpoint-dir", default=None,
+            help="warmup checkpoint store shared across rungs (default: "
+                 "$REPRO_CHECKPOINT_DIR, else no checkpoint reuse)",
+        )
+        sp.add_argument(
+            "--lanes", default=None, metavar="N|auto",
+            help="coalesce seed replicates of each design point into one "
+                 "lane-batched simulation (default: $REPRO_LANES or 1)",
+        )
+        sp.add_argument(
+            "--dispatch", default=None,
+            choices=["auto", "local", "pool", "workers"],
+            help="execution backend per rung drain (see 'sweep run "
+                 "--dispatch'; default: $REPRO_DISPATCH or auto)",
+        )
+        sp.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="worker processes for --dispatch workers "
+                 "(0 = all cores; default: $REPRO_WORKERS or 2)",
+        )
+        sp.add_argument(
+            "--stale-after", type=float, default=None, metavar="SECONDS",
+            help="seconds without a heartbeat before a running row may "
+                 "be reclaimed from a dead worker",
+        )
+        sp.add_argument(
+            "--heartbeat", type=float, default=None, metavar="SECONDS",
+            help="lease-refresh period for claimed rows",
+        )
+        sp.set_defaults(func=_cmd_search_run)
+
+    sp = hsub.add_parser(
+        "status",
+        help="per-rung progress, promotions and commit ledgers of a search",
+    )
+    _search_common(sp)
+    sp.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable search summary instead of text",
+    )
+    sp.set_defaults(func=_cmd_search_status)
+
+    sp = hsub.add_parser(
+        "report",
+        help="explore/exploit report: rung funnel, final leaderboard with "
+             "CIs, winner and cost fraction",
+    )
+    _search_common(sp)
+    sp.add_argument("--json", default=None, metavar="FILE",
+                    help="also write the search summary JSON to FILE")
+    sp.set_defaults(func=_cmd_search_report)
 
     p = sub.add_parser("cache", help="maintain the on-disk result cache")
     csub = p.add_subparsers(dest="cache_command", required=True)
@@ -832,6 +1067,11 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(func=_cmd_client)
     sp = csub.add_parser("sweep", help="submit a sweep spec file")
     sp.add_argument("spec", help="sweep spec file (.toml or .json)")
+    sp.add_argument("--wait", action="store_true",
+                    help="block until the job finishes and print its report")
+    sp.set_defaults(func=_cmd_client)
+    sp = csub.add_parser("search", help="submit a search spec file")
+    sp.add_argument("spec", help="search spec file (.toml or .json)")
     sp.add_argument("--wait", action="store_true",
                     help="block until the job finishes and print its report")
     sp.set_defaults(func=_cmd_client)

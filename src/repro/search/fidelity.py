@@ -1,0 +1,101 @@
+"""Search-vs-exhaustive fidelity judging.
+
+Adaptive search is only worth having if it answers the design question
+the way the exhaustive grid would.  :func:`fidelity_check` is the
+batch-generate → judge → compare harness CI and the benchmark run on a
+checked-in small grid:
+
+1. **generate** both answers — run the search to completion, then run
+   the exhaustive reference sweep (the full grid at the final rung's
+   fidelity) into the *same* store under ``{name}:exhaustive``, so both
+   campaigns share the result cache and warmup checkpoints;
+2. **judge** each — the search winner from its
+   :class:`~repro.search.controller.SearchSummary`, the grid winner by
+   ranking the reference sweep's aggregates with the same objective,
+   confidence level and tie-break order;
+3. **compare** — winner agreement (by ``point_id``), both winners' CIs,
+   and the cost fraction: the search's scheduled (point, seed, length)
+   work over the exhaustive campaign's.
+
+The returned verdict dict is what ``benchmarks/bench_search.py`` writes
+into ``BENCH_search.json`` and what the CI smoke asserts on
+(``winner_match`` true, ``cost.fraction`` under its budget).
+"""
+
+from __future__ import annotations
+
+from repro.harness.policy import ExecutionPolicy
+from repro.search.controller import (
+    _agg_entry,
+    exhaustive_reference,
+    run_search,
+)
+from repro.search.promote import rank_points
+from repro.search.spec import SearchSpec
+from repro.sweep.execute import run_sweep
+from repro.sweep.stats import aggregate
+from repro.sweep.store import ResultStore
+
+
+def fidelity_check(
+    spec: SearchSpec,
+    store: ResultStore,
+    *,
+    policy: ExecutionPolicy | None = None,
+    max_points: int | None = None,
+    echo=None,
+    progress=None,
+) -> dict:
+    """Run search and exhaustive reference, judge both, compare.
+
+    Returns a verdict dict::
+
+        {
+          "search": <SearchSummary.to_dict()>,
+          "exhaustive": {"sweep", "total", "done", "failed", "simulated"},
+          "search_winner": {...} | None,
+          "grid_winner": {...} | None,
+          "winner_match": bool,
+          "cost": {"search_units", "exhaustive_units", "fraction"},
+        }
+    """
+    search_summary = run_search(
+        spec, store,
+        policy=policy, max_points=max_points, echo=echo, progress=progress,
+    )
+
+    ref_spec = exhaustive_reference(spec)
+    ref_summary = run_sweep(
+        ref_spec, store,
+        policy=policy, max_points=max_points, echo=echo, progress=progress,
+    )
+    ref_aggs = aggregate(
+        store.rows(ref_spec.name), confidence=spec.confidence
+    )
+    ranked = rank_points(ref_aggs, spec.objective)
+    grid_winner = _agg_entry(ranked[0], spec.objective) if ranked else None
+
+    search_winner = search_summary.winner
+    winner_match = (
+        search_winner is not None
+        and grid_winner is not None
+        and search_winner["point_id"] == grid_winner["point_id"]
+    )
+    return {
+        "search": search_summary.to_dict(),
+        "exhaustive": {
+            "sweep": ref_spec.name,
+            "total": ref_summary.total,
+            "done": ref_summary.done,
+            "failed": ref_summary.failed,
+            "simulated": ref_summary.simulated,
+        },
+        "search_winner": search_winner,
+        "grid_winner": grid_winner,
+        "winner_match": winner_match,
+        "cost": {
+            "search_units": search_summary.units,
+            "exhaustive_units": search_summary.exhaustive_units,
+            "fraction": search_summary.cost_fraction,
+        },
+    }

@@ -1,0 +1,111 @@
+"""The CI-based promotion rule of successive halving.
+
+Classic successive halving keeps the top ``fraction`` of points by the
+objective and discards the rest — which silently discards points whose
+short-sample estimate is statistically indistinguishable from the cut.
+This module makes the cut honest: the promotion *cut* is the bootstrap-CI
+lower bound of the weakest rank-survivor, and a below-rank point is
+eliminated only when its own CI **upper** bound falls below that cut —
+i.e. only when even its optimistic estimate loses to the survivor's
+pessimistic one.  Points whose intervals overlap the cut are *ambiguous*:
+the controller tie-breaks them with bandit-style extra seed replicates
+(shrinking everyone's intervals) and, if the budget runs out first,
+carries them forward rather than truncating arbitrarily.
+
+The CIs come from :func:`~repro.sweep.stats.bootstrap_ci` via
+:func:`~repro.sweep.stats.aggregate` at the spec's ``confidence`` level,
+so every decision is deterministic and replayable from store contents.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.sweep.stats import PointAggregate
+
+
+def objective_value(agg: PointAggregate, objective: str) -> float:
+    """The metric a point competes on (falls back mean-ward when the
+    geomean is undefined for a ≤ -100% replicate)."""
+    if objective == "geomean" and agg.geomean is not None:
+        return agg.geomean
+    return agg.mean if agg.mean is not None else float("-inf")
+
+
+def rank_points(
+    aggs: list[PointAggregate], objective: str
+) -> list[PointAggregate]:
+    """Completed aggregates, best objective first; ties break by grid
+    order (idx, point_id) so rankings are stable and process-independent."""
+    done = [a for a in aggs if not a.failed]
+    return sorted(
+        done,
+        key=lambda a: (-objective_value(a, objective), a.idx, a.point_id),
+    )
+
+
+@dataclasses.dataclass
+class PromotionDecision:
+    """One rung's verdict over its point aggregates.
+
+    ``survivors`` hold the top ranks (definitely promoted), ``ambiguous``
+    the below-rank points whose CI overlaps the cut (tie-break targets),
+    ``eliminated`` the points whose CI upper bound lost to the cut, and
+    ``failed`` the points with no completed replicate at all.  The next
+    rung runs ``survivors + ambiguous`` (once the bandit budget is
+    exhausted); ``cut`` is ``None`` when every ranked point survived.
+    """
+
+    cut: float | None
+    survivors: list[PointAggregate]
+    ambiguous: list[PointAggregate]
+    eliminated: list[PointAggregate]
+    failed: list[PointAggregate]
+
+    @property
+    def promoted(self) -> list[PointAggregate]:
+        """Survivors plus still-ambiguous points, in rank order."""
+        return self.survivors + self.ambiguous
+
+    def to_dict(self) -> dict:
+        return {
+            "cut": self.cut,
+            "survivors": [a.point_id for a in self.survivors],
+            "ambiguous": [a.point_id for a in self.ambiguous],
+            "eliminated": [a.point_id for a in self.eliminated],
+            "failed": [a.point_id for a in self.failed],
+        }
+
+
+def promote(
+    aggs: list[PointAggregate],
+    fraction: float,
+    objective: str = "mean",
+    min_survivors: int = 1,
+) -> PromotionDecision:
+    """Apply the CI-aware successive-halving cut to one rung's points.
+
+    The survivor count is ``max(min_survivors, ceil(fraction * n))``
+    over the ``n`` ranked (non-failed) points.  The cut is the CI lower
+    bound of the last survivor; a lower-ranked point is eliminated iff
+    its CI upper bound is strictly below the cut, else it is ambiguous.
+    """
+    ranked = rank_points(aggs, objective)
+    failed = [a for a in aggs if a.failed]
+    if not ranked:
+        return PromotionDecision(None, [], [], [], failed)
+    k = max(min_survivors, math.ceil(fraction * len(ranked)))
+    if k >= len(ranked):
+        return PromotionDecision(None, ranked, [], [], failed)
+    survivors = ranked[:k]
+    cut = survivors[-1].ci_lo
+    ambiguous: list[PointAggregate] = []
+    eliminated: list[PointAggregate] = []
+    for agg in ranked[k:]:
+        hi = agg.ci_hi if agg.ci_hi is not None else float("-inf")
+        if cut is not None and hi < cut:
+            eliminated.append(agg)
+        else:
+            ambiguous.append(agg)
+    return PromotionDecision(cut, survivors, ambiguous, eliminated, failed)

@@ -1,0 +1,143 @@
+"""Explore/exploit reporting for search campaigns.
+
+The report answers the question the search was run to answer: *which
+point won, by how much, with what statistical backing, and at what
+fraction of exhaustive grid cost* — the rung funnel (points in →
+promoted → eliminated per fidelity level), the final leaderboard with
+bootstrap CIs, and the cost ledger.  Everything renders from a replayed
+:class:`~repro.search.controller.SearchSummary`, so reports are
+byte-identical whether the campaign ran uninterrupted or was killed and
+resumed.
+"""
+
+from __future__ import annotations
+
+from repro.search.controller import SearchSummary, run_search
+from repro.search.spec import SearchSpec
+from repro.sweep.store import ResultStore
+
+
+def search_result(
+    spec: SearchSpec,
+    store: ResultStore,
+    max_points: int | None = None,
+) -> SearchSummary:
+    """Replay a search's promotion decisions from store contents
+    (read-only; dispatches nothing)."""
+    return run_search(
+        spec, store, max_points=max_points, execute=False,
+        echo=lambda *_: None,
+    )
+
+
+def _params_label(params: dict) -> str:
+    return " ".join(f"{k}={v}" for k, v in params.items()) or "(base)"
+
+
+def _fidelity_label(outcome) -> str:
+    sample = "full" if outcome.sample is None else str(outcome.sample)
+    tag = f"{outcome.seeds} seeds × {sample}"
+    if outcome.warmup:
+        tag += f" (+{outcome.warmup} warmup)"
+    return tag
+
+
+def format_search_report(spec: SearchSpec, summary: SearchSummary) -> str:
+    """Render the explore/exploit report as markdown-ish text."""
+    lines: list[str] = []
+    lines.append(f"# search {summary.name}")
+    lines.append("")
+    lines.append(
+        f"objective: {summary.objective} percent speedup, "
+        f"{100 * spec.confidence:.0f}% bootstrap CI promotion, "
+        f"fraction {spec.fraction}"
+    )
+    lines.append(
+        f"grid: {summary.grid_points} points; "
+        f"search work: {summary.units} instructions = "
+        f"{100 * summary.cost_fraction:.1f}% of the exhaustive "
+        f"{summary.exhaustive_units} (final-rung protocol over the grid)"
+    )
+    lines.append("")
+
+    lines.append("## rung funnel")
+    lines.append("")
+    lines.append(
+        "| rung | fidelity | points in | promoted | by CI overlap "
+        "| eliminated | extra seed rounds | rows done |"
+    )
+    lines.append("|---|---|---|---|---|---|---|---|")
+    for outcome in summary.rungs:
+        decision = outcome.decision
+        if decision is None:
+            lines.append(
+                f"| {outcome.index} | {_fidelity_label(outcome)} "
+                f"| {outcome.points_in} | — | — | — | — "
+                f"| {outcome.rows_done}/{outcome.rows_total} (incomplete) |"
+            )
+            continue
+        lines.append(
+            f"| {outcome.index} | {_fidelity_label(outcome)} "
+            f"| {outcome.points_in} "
+            f"| {len(decision.promoted)} "
+            f"| {len(decision.ambiguous)} "
+            f"| {len(decision.eliminated)} "
+            f"| {outcome.extra_rounds} "
+            f"| {outcome.rows_done}/{outcome.rows_total} |"
+        )
+    lines.append("")
+
+    if summary.leaderboard:
+        lines.append("## final leaderboard")
+        lines.append("")
+        lines.append(
+            f"| rank | point | recipe | {summary.objective} % | CI | seeds |"
+        )
+        lines.append("|---|---|---|---|---|---|")
+        for rank, entry in enumerate(summary.leaderboard, start=1):
+            ci = (
+                f"[{entry['ci_lo']:+.2f}, {entry['ci_hi']:+.2f}]"
+                if entry["ci_lo"] is not None
+                else "—"
+            )
+            lines.append(
+                f"| {rank} | {entry['point_id']} "
+                f"| {entry['workload']}@{entry['length']} "
+                f"{_params_label(entry['params'])} "
+                f"| {entry['value']:+.2f} | {ci} | {entry['n_seeds']} |"
+            )
+        lines.append("")
+
+    if summary.winner is not None:
+        winner = summary.winner
+        ci = (
+            f"[{winner['ci_lo']:+.2f}, {winner['ci_hi']:+.2f}]"
+            if winner["ci_lo"] is not None
+            else "(degenerate)"
+        )
+        lines.append("## winner")
+        lines.append("")
+        lines.append(
+            f"{winner['point_id']} — {winner['workload']}@{winner['length']} "
+            f"{_params_label(winner['params'])}: "
+            f"{summary.objective} {winner['value']:+.2f}% {ci} "
+            f"over {winner['n_seeds']} seeds, found with "
+            f"{100 * summary.cost_fraction:.1f}% of exhaustive grid cost"
+        )
+    else:
+        lines.append("## winner")
+        lines.append("")
+        lines.append(
+            "(none yet — the search has not completed its final rung)"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def full_search_report(
+    spec: SearchSpec,
+    store: ResultStore,
+    max_points: int | None = None,
+) -> str:
+    """Replay and render in one step (the CLI/server entry point)."""
+    summary = search_result(spec, store, max_points=max_points)
+    return format_search_report(spec, summary)

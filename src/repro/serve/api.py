@@ -28,6 +28,11 @@ Sweep payload::
 
     {"spec": { ... SweepSpec.to_dict() / TOML-equivalent JSON ... },
      "max_points": null, "retries": null}
+
+Search payload::
+
+    {"spec": { ... SearchSpec.to_dict() / TOML-equivalent JSON ... },
+     "max_points": null, "retries": null}
 """
 
 from __future__ import annotations
@@ -42,6 +47,8 @@ from repro.harness.export import result_to_dict
 from repro.harness.policy import UNSET, ExecutionPolicy, resolve_cache
 from repro.harness.runner import default_length
 from repro.harness.session import Session
+from repro.search.controller import run_search
+from repro.search.spec import SearchSpec, SearchSpecError
 from repro.serve.jobs import Job
 from repro.sweep.execute import run_sweep
 from repro.sweep.spec import SweepSpec, SweepSpecError, run_spec_for, _check_keys
@@ -71,6 +78,7 @@ _RUN_KEYS = frozenset(
      "observe", "trace")
 )
 _SWEEP_KEYS = frozenset(("spec", "max_points", "retries"))
+_SEARCH_KEYS = frozenset(("spec", "max_points", "retries"))
 
 
 class CampaignRunner:
@@ -169,6 +177,8 @@ class CampaignRunner:
             return self._validate_run(payload)
         if kind == "sweep":
             return self._validate_sweep(payload)
+        if kind == "search":
+            return self._validate_search(payload)
         raise ServiceError(f"unknown job kind {kind!r}")
 
     def _validate_run(self, payload: dict) -> dict:
@@ -239,12 +249,38 @@ class CampaignRunner:
             "retries": retries,
         }
 
+    def _validate_search(self, payload: dict) -> dict:
+        unknown = set(payload) - _SEARCH_KEYS
+        _require(not unknown,
+                 f"unknown search field(s) {sorted(unknown)}; "
+                 f"valid: {sorted(_SEARCH_KEYS)}")
+        _require(isinstance(payload.get("spec"), dict),
+                 "search needs a 'spec' object (SearchSpec fields)")
+        try:
+            spec = SearchSpec.from_dict(payload["spec"])
+        except (SearchSpecError, KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"invalid search spec: {exc}") from None
+        max_points = payload.get("max_points")
+        retries = payload.get("retries")
+        _require(max_points is None
+                 or (isinstance(max_points, int) and max_points >= 1),
+                 "'max_points' must be a positive integer or null")
+        _require(retries is None or (isinstance(retries, int) and retries >= 0),
+                 "'retries' must be a non-negative integer or null")
+        return {
+            "spec": spec.to_dict(),
+            "max_points": max_points,
+            "retries": retries,
+        }
+
     # ------------------------------------------------------------------
     # execution (runs on a JobManager worker thread)
     # ------------------------------------------------------------------
     def __call__(self, job: Job) -> dict:
         if job.kind == "run":
             return self._run_job(job)
+        if job.kind == "search":
+            return self._search_job(job)
         return self._sweep_job(job)
 
     def _session_for(self, payload: dict, tracer=None) -> Session:
@@ -356,20 +392,65 @@ class CampaignRunner:
             "complete": summary.complete,
         }
 
+    def search_db(self, job: Job) -> Path:
+        """Where a search job's results database lives (digest-addressed).
+        All rungs (and the exhaustive reference, if one is ever run)
+        share this one store."""
+        return self.state_dir / f"search-{job.digest[:16]}.db"
+
+    def _search_spec(self, job: Job) -> SearchSpec:
+        return SearchSpec.from_dict(job.payload["spec"])
+
+    def _search_job(self, job: Job) -> dict:
+        spec = self._search_spec(job)
+        db = self.search_db(job)
+        job.data["db"] = str(db)
+        job.data["search"] = spec.name
+        with ResultStore(db) as store:
+            summary = run_search(
+                spec,
+                store,
+                max_points=job.payload["max_points"],
+                echo=lambda *parts: job.events.emit(
+                    "log", message=" ".join(str(p) for p in parts)
+                ),
+                progress=lambda info: job.events.emit("progress", **info),
+                policy=self.policy.merged(
+                    retries=job.payload["retries"],
+                    cache=self.cache,
+                    checkpoints=self.checkpoints,
+                ),
+            )
+        return {
+            "search": spec.name,
+            "db": str(db),
+            "summary": summary.to_dict(),
+            "winner": summary.winner,
+            "complete": summary.complete,
+        }
+
     # ------------------------------------------------------------------
     # read-side helpers (any thread)
     # ------------------------------------------------------------------
     def partial(self, job: Job) -> dict | None:
-        """Live per-status row counts for a running/finished sweep job."""
-        if job.kind != "sweep":
+        """Live per-status row counts for a running/finished sweep or
+        search job (search counts sum over every rung sweep)."""
+        if job.kind == "sweep":
+            db, names = self.sweep_db(job), [job.payload["spec"]["name"]]
+        elif job.kind == "search":
+            db = self.search_db(job)
+            spec = self._search_spec(job)
+            names = [spec.rung_sweep(i) for i in range(len(spec.rungs))]
+        else:
             return None
-        db = self.sweep_db(job)
         if not db.exists():
             return None
-        name = job.payload["spec"]["name"]
+        counts: dict = {}
         try:
             with ResultStore(db) as store:
-                counts = store.counts(name)
+                for name in names:
+                    for status, n in store.counts(name).items():
+                        counts[status] = counts.get(status, 0) + n
         except Exception:  # db mid-creation by the worker: no partials yet
             return None
         counts["total"] = sum(counts.values())
@@ -405,6 +486,21 @@ class CampaignRunner:
                 if isinstance(stats[key], (int, float, str)):
                     lines.append(f"| {key} | {stats[key]} |")
             return "\n".join(lines) + "\n"
+        if job.kind == "search":
+            from repro.search.report import format_search_report, search_result
+
+            spec = self._search_spec(job)
+            with ResultStore(self.search_db(job)) as store:
+                summary = search_result(
+                    spec, store, max_points=job.payload["max_points"]
+                )
+            if not summary.total:
+                raise ServiceError(
+                    f"search {spec.name} has no recorded rows", status=409
+                )
+            if fmt == "markdown":
+                return format_search_report(spec, summary)
+            return summary.to_dict()
         from repro.sweep.report import format_markdown, sweep_result
         from repro.sweep.stats import aggregate
 

@@ -11,9 +11,10 @@ simulation anyway, and it keeps the parser honest).
 
 Endpoints:
 
-* ``POST /runs``, ``POST /sweeps`` — submit a normalized payload (see
-  :mod:`repro.serve.api`), get ``{"job": <id>, "deduped": bool, ...}``;
-  202 for a new job, 200 for a coalesced one, 400 malformed, 503 full.
+* ``POST /runs``, ``POST /sweeps``, ``POST /searches`` — submit a
+  normalized payload (see :mod:`repro.serve.api`), get ``{"job": <id>,
+  "deduped": bool, ...}``; 202 for a new job, 200 for a coalesced one,
+  400 malformed, 503 full.
 * ``GET /jobs`` — every job, oldest first.
 * ``GET /jobs/<id>`` — status snapshot plus live partial results
   (per-status row counts out of the sweep's ResultStore).
@@ -204,12 +205,11 @@ class CampaignServer:
             if method != "GET":
                 raise _HttpError(405, "use GET")
             return await self._send_json(writer, 200, await asyncio.to_thread(self.stats))
-        if path in ("/runs", "/sweeps"):
+        if path in ("/runs", "/sweeps", "/searches"):
             if method != "POST":
                 raise _HttpError(405, "use POST")
-            return await self._submit(
-                "run" if path == "/runs" else "sweep", body, writer
-            )
+            kind = {"/runs": "run", "/sweeps": "sweep", "/searches": "search"}
+            return await self._submit(kind[path], body, writer)
         if path == "/jobs":
             if method != "GET":
                 raise _HttpError(405, "use GET")

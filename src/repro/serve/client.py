@@ -79,6 +79,10 @@ class CampaignClient:
         """POST /sweeps; returns the submission ack."""
         return self._json("/sweeps", payload)
 
+    def submit_search(self, payload: dict) -> dict:
+        """POST /searches; returns the submission ack."""
+        return self._json("/searches", payload)
+
     def jobs(self) -> list[dict]:
         return self._json("/jobs")["jobs"]
 

@@ -27,6 +27,7 @@ from repro.sweep.execute import (
 )
 from repro.sweep.report import (
     axis_marginals,
+    axis_progress,
     best_point,
     export_jsonl,
     format_markdown,
@@ -57,6 +58,7 @@ __all__ = [
     "SweepSpecError",
     "aggregate",
     "axis_marginals",
+    "axis_progress",
     "best_point",
     "bootstrap_ci",
     "campaign_rows",

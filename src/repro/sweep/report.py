@@ -252,3 +252,33 @@ def full_report(name: str, aggregates: list[PointAggregate]) -> str:
     if pareto.rows:
         parts.append(pareto.format_table())
     return "\n\n".join(parts)
+
+
+def axis_progress(axes, rows) -> dict:
+    """Per-axis done/total row progress, straight from store rows.
+
+    For each axis named in ``axes`` (a :class:`SweepSpec`'s ``axes``
+    mapping, or any iterable of param keys), returns
+    ``{axis: {value_label: (done, total)}}`` counting the sweep's
+    *point* rows by the axis value their params carry.  This is what
+    makes a long campaign's ``sweep status`` legible: you see which
+    slice of the design space is holding the sweep up, not just a
+    global row count.
+    """
+    out: dict[str, dict[str, tuple[int, int]]] = {}
+    for axis in axes:
+        per: dict[str, tuple[int, int]] = {}
+        for row in rows:
+            if row["role"] != "point":
+                continue
+            params = row["params"]
+            if isinstance(params, str):
+                params = json.loads(params)
+            if axis not in params:
+                continue
+            label = str(params[axis])
+            done, total = per.get(label, (0, 0))
+            per[label] = (done + (row["status"] == "done"), total + 1)
+        if per:
+            out[axis] = per
+    return out

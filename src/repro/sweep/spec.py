@@ -297,13 +297,18 @@ class SweepSpec:
         Grid order is workloads (outer) × lengths × axis cross product
         (inner, axes in declaration order), so truncating to the first N
         points (``--points N``) yields N distinct recipes on the first
-        workload.  Random mode draws ``samples`` points (without
-        replacement) from the constraint-filtered grid with
-        ``sample_seed``.
+        workload.  Points are de-duplicated by ``point_id`` (repeated
+        axis values, or axes shadowed by ``base``, would otherwise emit
+        the same recipe twice and collide in the results store).  Random
+        mode draws ``samples`` points without replacement from the
+        de-duplicated, constraint-filtered grid with ``sample_seed`` —
+        so the draw is always topped up to ``samples`` distinct points
+        while the grid has that many.
         """
         axis_names = list(self.axes)
         combos = list(itertools.product(*self.axes.values())) or [()]
         points: list[SweepPoint] = []
+        seen: set[str] = set()
         for workload in self.workloads:
             for length in self.resolved_lengths():
                 for combo in combos:
@@ -312,10 +317,11 @@ class SweepSpec:
                     context = dict(params, workload=workload, length=length)
                     if not _passes(self.constraints, context):
                         continue
-                    points.append(
-                        SweepPoint(point_id(params, workload, length),
-                                   workload, length, params)
-                    )
+                    pid = point_id(params, workload, length)
+                    if pid in seen:
+                        continue
+                    seen.add(pid)
+                    points.append(SweepPoint(pid, workload, length, params))
         if self.mode == "random" and self.samples < len(points):
             rng = random.Random(self.sample_seed)
             points = rng.sample(points, self.samples)

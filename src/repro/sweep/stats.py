@@ -28,20 +28,27 @@ BOOTSTRAP_RESAMPLES = 2000
 def bootstrap_ci(
     values: list[float],
     resamples: int = BOOTSTRAP_RESAMPLES,
-    alpha: float = 0.05,
+    confidence: float = 0.95,
     seed: int = 0,
 ) -> tuple[float, float]:
     """Percentile-bootstrap CI for the mean of ``values``.
 
     Resamples the replicates with replacement ``resamples`` times using a
-    deterministic RNG and returns the ``alpha/2`` and ``1 - alpha/2``
-    percentiles of the resampled means.  A single replicate yields a
-    degenerate (v, v) interval — no spread information exists.
+    deterministic RNG and returns the central ``confidence`` mass of the
+    resampled means (the ``(1-confidence)/2`` and ``(1+confidence)/2``
+    percentiles).  ``confidence`` must lie in the open interval (0, 1);
+    the default 0.95 matches the repo's historical hard-coded 95% level,
+    while search promotion varies it per :class:`~repro.search.SearchSpec`.
+    A single replicate yields a degenerate (v, v) interval — no spread
+    information exists.
     """
     if not values:
         raise ValueError("need at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), not {confidence!r}")
     if len(values) == 1:
         return (values[0], values[0])
+    alpha = 1.0 - confidence
     rng = random.Random(seed)
     k = len(values)
     means = sorted(fmean(rng.choices(values, k=k)) for _ in range(resamples))
@@ -73,6 +80,7 @@ class PointAggregate:
     geomean: float | None = None
     ci_lo: float | None = None
     ci_hi: float | None = None
+    confidence: float = 0.95
 
     def __post_init__(self) -> None:
         if self.speedups:
@@ -81,7 +89,9 @@ class PointAggregate:
                 self.geomean = geomean_speedup(self.speedups)
             except ValueError:
                 self.geomean = None
-            self.ci_lo, self.ci_hi = bootstrap_ci(self.speedups)
+            self.ci_lo, self.ci_hi = bootstrap_ci(
+                self.speedups, confidence=self.confidence
+            )
 
     @property
     def n_seeds(self) -> int:
@@ -118,14 +128,15 @@ class PointAggregate:
         return float("inf") if value is None else float(value)
 
 
-def aggregate(rows) -> list[PointAggregate]:
+def aggregate(rows, confidence: float = 0.95) -> list[PointAggregate]:
     """Fold store rows (points + baselines) into per-point aggregates.
 
     ``rows`` is the output of :meth:`ResultStore.rows`: ``done`` baseline
     rows index the denominators; each point's ``done`` replicates whose
     ``(workload, length, seed)`` has a baseline become speedups, while
     ``failed`` replicates are counted so graceful degradation stays
-    visible in the report.
+    visible in the report.  ``confidence`` sets the bootstrap CI level on
+    every aggregate (search promotion varies it; reports keep 0.95).
     """
     baselines: dict[tuple[str, int, int], float] = {}
     for row in rows:
@@ -177,6 +188,7 @@ def aggregate(rows) -> list[PointAggregate]:
                 seeds=seeds,
                 speedups=speedups,
                 n_failed=n_failed,
+                confidence=confidence,
             )
         )
     out.sort(key=lambda a: (a.idx, a.point_id))

@@ -170,6 +170,79 @@ class TestBranchHistoryProperties:
             hist = update_history(hist, taken)
 
 
+class TestPointIdProperties:
+    """The sweep/search stacks key every store row, cache entry and
+    promotion decision on point_id — it must be a pure content hash:
+    invariant to params key order and identical across processes."""
+
+    param_keys = st.sampled_from(
+        ["machine", "threads", "spawn_latency", "store_buffer_entries",
+         "predictor", "selector", "fetch_policy"]
+    )
+    param_values = st.one_of(
+        st.integers(0, 1 << 16), st.text(max_size=12), st.booleans()
+    )
+
+    @given(
+        st.dictionaries(param_keys, param_values, min_size=1, max_size=7),
+        st.sampled_from(["mcf", "crafty", "swim"]),
+        st.integers(1, 100000),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_to_params_key_order(self, params, workload, length, rnd):
+        from repro.sweep.spec import point_id
+
+        items = list(params.items())
+        rnd.shuffle(items)
+        shuffled = dict(items)
+        assert list(shuffled) != list(params) or shuffled == params
+        assert point_id(shuffled, workload, length) == point_id(
+            params, workload, length
+        )
+
+    @given(
+        st.dictionaries(param_keys, param_values, min_size=1, max_size=5),
+        st.integers(1, 100000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_seedless_identity_separates_points(self, params, length):
+        from repro.sweep.spec import point_id
+
+        # changing any identity ingredient changes the id...
+        base = point_id(params, "mcf", length)
+        assert base != point_id(params, "crafty", length)
+        assert base != point_id(params, "mcf", length + 1)
+        # ...and the id is a stable 16-hex-digit digest
+        assert len(base) == 16 and int(base, 16) >= 0
+
+    def test_stable_across_processes(self):
+        """The id of a fixed recipe must match both a golden literal
+        (guarding the hash recipe against accidental change) and a
+        fresh interpreter (no per-process salting a la PYTHONHASHSEED)."""
+        import subprocess
+        import sys
+
+        from repro.sweep.spec import point_id
+
+        params = {"machine": "mtvp", "threads": 8, "spawn_latency": 16}
+        local = point_id(params, "mcf", 5000)
+        assert local == "dc83bdd4810ebe6d"  # golden: the recipe is frozen
+
+        code = (
+            "from repro.sweep.spec import point_id; "
+            "print(point_id({'spawn_latency': 16, 'threads': 8, "
+            "'machine': 'mtvp'}, 'mcf', 5000), end='')"
+        )
+        fresh = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "random"},
+            cwd=str(__import__("pathlib").Path(__file__).parent.parent),
+        )
+        assert fresh.stdout == local
+
+
 class TestEngineProperties:
     @staticmethod
     def _random_trace(ops):

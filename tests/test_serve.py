@@ -34,6 +34,22 @@ SMALL_SWEEP = {
     "lengths": [400],
 }
 
+SMALL_SEARCH = {
+    "search": {
+        "name": "e2e-search",
+        "fraction": 0.5,
+        "rungs": [{"seeds": 1, "sample": 200}, {"seeds": 1}],
+    },
+    "sweep": {
+        "name": "e2e-search-grid",
+        "axes": {"threads": [2, 4]},
+        "base": {"machine": "mtvp"},
+        "workloads": ["mcf"],
+        "seeds": [0],
+        "lengths": [400],
+    },
+}
+
 
 class TestEventLog:
     def test_seq_and_after(self):
@@ -219,6 +235,21 @@ class TestValidation:
         with pytest.raises(ServiceError):
             runner.validate("run", [1, 2])
 
+    def test_search_spec_is_validated(self, runner):
+        with pytest.raises(ServiceError, match="invalid search spec"):
+            runner.validate("search", {"spec": {"search": {"bogus": 1}}})
+        with pytest.raises(ServiceError, match="'spec' object"):
+            runner.validate("search", {})
+        with pytest.raises(ServiceError, match="unknown search field"):
+            runner.validate("search", {"spec": SMALL_SEARCH, "surprise": 1})
+
+    def test_search_normalization_is_digest_stable(self, runner):
+        a = runner.validate("search", {"spec": SMALL_SEARCH})
+        # the spec round-trips through SearchSpec, so TOML-style and
+        # to_dict-style submissions of the same search coalesce
+        b = runner.validate("search", {"spec": a["spec"]})
+        assert job_digest("search", a) == job_digest("search", b)
+
 
 @pytest.fixture(scope="module")
 def service(tmp_path_factory):
@@ -350,6 +381,40 @@ class TestServiceE2E:
         assert snapshot["result"]["trace"]["emitted"] > 0
         events = list(client.events(ack["job"], follow=False))
         assert any(e["kind"] == "trace" for e in events)
+
+    def test_search_job_end_to_end(self, service):
+        """POST /searches runs a whole successive-halving campaign as one
+        job: live partial counts over the rung sweeps, a winner in the
+        result, a rendered explore/exploit report, and dedup on
+        resubmission."""
+        server, client = service
+        ack = client.submit_search({"spec": SMALL_SEARCH})
+        snapshot = client.wait(ack["job"], timeout=120.0)
+        assert snapshot["status"] == "done", snapshot.get("error")
+        result = snapshot["result"]
+        assert result["complete"] is True
+        assert result["winner"] is not None
+        assert result["search"] == "e2e-search"
+        assert result["summary"]["grid_points"] == 2
+        # partial counts aggregate over every rung's store sweep
+        partial = snapshot["partial"]
+        assert partial["total"] == result["summary"]["total"] > 0
+        assert partial["failed"] == 0
+
+        report = client.report(ack["job"])
+        assert report.startswith("# search e2e-search")
+        assert "## winner" in report
+        payload = client.report(ack["job"], fmt="json")
+        assert payload["winner"]["point_id"] == result["winner"]["point_id"]
+
+        # identical resubmission coalesces; no new simulation
+        stores = server.runner.cache.stores
+        again = client.submit_search({"spec": SMALL_SEARCH})
+        assert again["deduped"] and again["job"] == ack["job"]
+        assert server.runner.cache.stores == stores
+
+        kinds = {e["kind"] for e in client.events(ack["job"], follow=False)}
+        assert "log" in kinds and "progress" in kinds
 
     def test_error_surfaces(self, service):
         _, client = service

@@ -123,6 +123,22 @@ class TestSweepSpec:
         with pytest.raises(SweepSpecError, match="samples"):
             mini_spec(mode="random")
 
+    def test_duplicate_axis_values_collapse_to_one_point(self):
+        # a careless spec like [16, 16, 64] used to mint two identical
+        # points (same point_id) that then collided in the result store
+        spec = mini_spec(axes={"store_buffer_entries": [16, 16, 64]})
+        points = spec.expand()
+        assert [p.params["store_buffer_entries"] for p in points] == [16, 64]
+        assert len({p.point_id for p in points}) == len(points)
+
+    def test_random_mode_samples_from_deduped_grid(self):
+        axes = {"store_buffer_entries": [16, 16, 32, 64],
+                "spawn_latency": [1, 1, 8]}
+        spec = mini_spec(axes=axes, mode="random", samples=6, sample_seed=3)
+        points = spec.expand()
+        assert len(points) == 6  # the deduped grid has 3 x 2 = 6 combos
+        assert len({p.point_id for p in points}) == 6
+
     def test_point_id_stable_and_seedless(self):
         a, b = mini_spec().expand(), mini_spec().expand()
         assert [p.point_id for p in a] == [p.point_id for p in b]
@@ -207,6 +223,38 @@ class TestStats:
         assert (lo, hi) == bootstrap_ci(values)
         assert lo <= sum(values) / len(values) <= hi
         assert bootstrap_ci([5.0]) == (5.0, 5.0)
+
+    def test_bootstrap_ci_single_value_is_degenerate(self):
+        assert bootstrap_ci([7.5]) == (7.5, 7.5)
+
+    def test_bootstrap_ci_identical_values_collapse(self):
+        lo, hi = bootstrap_ci([3.0, 3.0, 3.0, 3.0])
+        assert lo == hi == 3.0
+
+    def test_bootstrap_ci_confidence_orders_widths(self):
+        values = [10.0, 12.0, 8.0, 11.0, 9.5]
+        narrow = bootstrap_ci(values, confidence=0.5)
+        default = bootstrap_ci(values)
+        wide = bootstrap_ci(values, confidence=0.99)
+        width = lambda ci: ci[1] - ci[0]  # noqa: E731
+        assert width(narrow) <= width(default) <= width(wide)
+        # the default really is the historical 95% level
+        assert default == bootstrap_ci(values, confidence=0.95)
+
+    def test_bootstrap_ci_rejects_bad_confidence(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError, match="confidence"):
+                bootstrap_ci([1.0, 2.0], confidence=bad)
+        with pytest.raises(ValueError, match="at least one"):
+            bootstrap_ci([])
+
+    def test_aggregate_confidence_reaches_every_point(self, tmp_path):
+        wide = PointAggregate("p", 0, "w", 500, {}, {}, [0, 1, 2],
+                              [10.0, 14.0, 6.0], 0, confidence=0.99)
+        tight = PointAggregate("p", 0, "w", 500, {}, {}, [0, 1, 2],
+                               [10.0, 14.0, 6.0], 0, confidence=0.5)
+        assert wide.confidence == 0.99
+        assert wide.ci_hi - wide.ci_lo >= tight.ci_hi - tight.ci_lo
 
     def test_straddle_flag(self):
         clear = PointAggregate("p", 0, "w", 500, {}, {}, [0, 1],
@@ -474,6 +522,37 @@ class TestSweepCLI:
         out = capsys.readouterr().out
         assert "bootstrap CI" in out and "best point" in out
         assert csv_path.exists()
+
+    def test_status_shows_axis_progress_and_json_ledger(
+        self, tmp_path, capsys
+    ):
+        from repro.__main__ import main
+
+        spec_path = tmp_path / "mini.toml"
+        spec_path.write_text(TOML)
+        db = str(tmp_path / "mini.db")
+        assert main(["sweep", "run", str(spec_path), "--db", db,
+                     "--no-cache"]) == 0
+        capsys.readouterr()
+
+        assert main(["sweep", "status", str(spec_path), "--db", db]) == 0
+        out = capsys.readouterr().out
+        # per-axis progress: every axis value reports done/total rows
+        assert "axis store_buffer_entries: 16: 2/2 64: 2/2" in out
+        assert "commits:" in out
+
+        assert main(["sweep", "status", str(spec_path), "--db", db,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sweep"] == "mini"
+        assert payload["counts"]["done"] == payload["total"] == 6
+        assert payload["axes"]["store_buffer_entries"]["16"] == {
+            "done": 2, "total": 2,
+        }
+        # the commit ledger proves exactly-once: one commit per done row
+        assert payload["commits"]["commits"] == payload["commits"]["done"]
+        assert payload["commits"]["max_commits"] == 1
+        assert payload["failed"] == []
 
     def test_report_without_results_fails_cleanly(self, tmp_path, capsys):
         from repro.__main__ import main
