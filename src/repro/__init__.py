@@ -20,6 +20,8 @@ Quickstart::
     print(f"speedup {mtvp.useful_ipc / base.useful_ipc:.2f}x")
 """
 
+import dataclasses
+
 from repro.core import Engine, FetchPolicy, MachineConfig, SimMode, SimStats
 from repro.isa import Instruction, InstructionBuilder, OpClass
 from repro.select import (
@@ -116,11 +118,58 @@ def simulate(
 
     Returns:
         The populated :class:`SimStats` for the run.
+
+    Multi-program modes (``config.mode`` whose execution model is
+    ``multi_program``, i.e. the SMT co-schedule) accept a
+    :class:`~repro.workloads.TraceSet` — one program per hardware context
+    (``num_contexts`` adapts to the set's size) — or a workload, in which
+    case ``num_contexts`` independent dynamic streams of the same workload
+    body are generated with seeds ``seed, seed+1, ...``.  ``warmup``
+    (functional fast-forward) is single-stream by construction and is
+    rejected for them.
     """
+    from repro.core.modes import resolve_model
+    from repro.workloads import TraceSet
+
     if isinstance(workload_or_trace, str):
         workload_or_trace = get_workload(workload_or_trace)
     warm_addresses = None
-    if isinstance(workload_or_trace, Workload):
+    traces = None
+    if resolve_model(config.mode).multi_program:
+        if warmup:
+            raise ValueError(
+                f"warmup is not supported in {config.mode.value} mode: "
+                "fast-forward advances a single program stream"
+            )
+        if isinstance(workload_or_trace, TraceSet):
+            traces = list(workload_or_trace.traces)
+            if len(traces) != config.num_contexts:
+                config = dataclasses.replace(
+                    config, num_contexts=len(traces)
+                )
+        elif isinstance(workload_or_trace, Workload):
+            traces = [
+                workload_or_trace.trace(length=length, seed=seed + i)
+                for i in range(config.num_contexts)
+            ]
+            if config.warm_caches:
+                warm_addresses = _steady_state_footprint(
+                    workload_or_trace, config
+                )
+        else:
+            raise TypeError(
+                f"{config.mode.value} mode needs a TraceSet or a workload "
+                "(one explicit trace cannot fill multiple contexts)"
+            )
+        trace = traces[0]
+    elif isinstance(workload_or_trace, TraceSet):
+        if len(workload_or_trace) != 1:
+            raise ValueError(
+                f"mode {config.mode.value} runs a single program; the "
+                f"TraceSet holds {len(workload_or_trace)}"
+            )
+        trace = list(workload_or_trace.traces[0])
+    elif isinstance(workload_or_trace, Workload):
         if warmup:
             measured = (
                 length
@@ -137,6 +186,7 @@ def simulate(
     engine = Engine(
         trace, config, predictor=predictor, selector=selector,
         warm_addresses=warm_addresses, tracer=tracer, metrics=metrics,
+        traces=traces,
     )
     if warmup:
         store = checkpoints

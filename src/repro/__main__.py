@@ -39,6 +39,8 @@ MACHINES = {
     "cmp": lambda threads: MachineConfig.cmp(threads),
     "spawn-only": lambda threads: MachineConfig.spawn_only(threads),
     "wide-window": lambda threads: MachineConfig.wide_window(),
+    "smt": lambda threads: MachineConfig.smt(programs=threads),
+    "spmt": lambda threads: MachineConfig.spmt(threads),
 }
 
 
@@ -193,9 +195,61 @@ def _cmd_run_lanes(args: argparse.Namespace, lanes: int) -> int:
     return 0
 
 
+def _cmd_run_traces(args: argparse.Namespace) -> int:
+    """The ``run --traces`` path: simulate ingested external trace files.
+
+    Bypasses the cached :class:`~repro.harness.Session` pipeline — cache
+    keys identify generated workloads by (name, length, seed), which says
+    nothing about the contents of arbitrary external files — and drives
+    :func:`repro.simulate` directly.  Multiple files form a
+    :class:`~repro.workloads.TraceSet` (one program per context, for the
+    SMT co-schedule); a single file runs in any single-program mode.
+    """
+    from repro import simulate
+    from repro.workloads import TraceFormatError, load_trace_set
+
+    if args.trace or args.profile or args.checkpoint or args.restore:
+        print("--traces cannot be combined with "
+              "--trace/--profile/--checkpoint/--restore")
+        return 1
+    if args.workload is not None:
+        print("--traces replaces the workload argument; give one or the other")
+        return 1
+    try:
+        trace_set = load_trace_set(args.traces)
+    except (OSError, TraceFormatError) as exc:
+        print(f"cannot ingest traces: {exc}")
+        return 1
+    config = MACHINES[args.machine](args.threads)
+    try:
+        stats = simulate(
+            trace_set,
+            config,
+            predictor=vp.resolve(args.predictor)(),
+            selector=select.resolve(args.selector)(),
+            warmup=args.warmup,
+        )
+    except (TypeError, ValueError) as exc:
+        print(f"cannot run ingested traces: {exc}")
+        return 1
+    programs = ", ".join(trace_set.labels)
+    print(f"{programs} on {args.machine} ({args.threads} threads)")
+    print(stats.summary())
+    for row in stats.per_context:
+        print(f"  ctx {row['stream']} [{trace_set.labels[row['stream']]}]: "
+              f"ipc {row['ipc']:.3f}, {row['instructions']} instructions "
+              f"in {row['cycles']} cycles")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.harness import resolve_lanes
 
+    if args.traces:
+        return _cmd_run_traces(args)
+    if args.workload is None:
+        print("a workload name is required (or pass --traces FILE...)")
+        return 1
     lanes = resolve_lanes(args.lanes, group_size=1)
     if lanes > 1:
         return _cmd_run_lanes(args, lanes)
@@ -675,9 +729,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_workloads)
 
     p = sub.add_parser("run", help="simulate one workload on one machine")
-    p.add_argument("workload")
-    p.add_argument("--machine", choices=sorted(MACHINES), default="mtvp")
+    p.add_argument("workload", nargs="?", default=None)
+    p.add_argument(
+        "--machine", "--mode", dest="machine",
+        choices=sorted(MACHINES), default="mtvp",
+        help="machine preset / execution mode (--mode is an alias)",
+    )
     p.add_argument("--threads", type=int, default=8)
+    p.add_argument(
+        "--traces", nargs="+", default=None, metavar="FILE",
+        help="ingest external binary trace file(s) instead of a generated "
+             "workload; several files co-schedule as one program per "
+             "context (--machine smt)",
+    )
     p.add_argument("--predictor", choices=sorted(vp.names()), default="wang-franklin")
     p.add_argument("--selector", choices=sorted(select.names()), default="ilp-pred")
     p.add_argument("--length", type=int, default=None)

@@ -18,6 +18,14 @@ class SimMode(enum.Enum):
     #: thread split without value prediction — the "spawn only" comparator
     #: of Section 5.7 (window separation, no dependence breaking)
     SPAWN_ONLY = "spawn_only"
+    #: N independent programs co-scheduled over the shared pipeline — the
+    #: classic multiprogrammed SMT substrate the paper's machine descends
+    #: from; measures inter-program interference, no speculation at all
+    SMT = "smt"
+    #: Prophet-style speculative multithreading: spawn a thread at a
+    #: control-flow boundary ahead of the parent with pre-computed
+    #: live-ins; squash when the control speculation was wrong
+    SPMT = "spmt"
 
 
 class FetchPolicy(enum.Enum):
@@ -95,6 +103,10 @@ class MachineConfig:
     mode: SimMode = SimMode.MTVP
     multi_value: int = 1
     reissue_penalty: int = 2
+    #: SPMT only: how many instructions past the spawning branch the
+    #: speculative thread starts (the skipped region the parent still
+    #: executes; Prophet's "future execution region" distance)
+    spmt_skip: int = 48
     # instrumentation
     collect_multivalue: bool = False
     #: pre-touch the trace's memory footprint before timing starts, so a
@@ -107,12 +119,17 @@ class MachineConfig:
             raise ValueError("need at least one hardware context")
         if self.multi_value < 1:
             raise ValueError("multi_value must be at least 1")
-        if self.mode in (SimMode.BASELINE, SimMode.STVP) and self.num_contexts != 1:
-            # single-threaded modes use exactly one context; normalize so
-            # experiment code can vary only `mode`
+        # the execution model owns per-mode normalization (single-threaded
+        # modes use exactly one context, so experiment code can vary only
+        # `mode`); the import is local because modes imports this module
+        from repro.core.modes import resolve_model
+
+        if resolve_model(self.mode).single_context and self.num_contexts != 1:
             self.num_contexts = 1
         if self.spawn_latency < 0:
             raise ValueError("spawn_latency must be non-negative")
+        if self.spmt_skip < 1:
+            raise ValueError("spmt_skip must be at least 1")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -153,6 +170,27 @@ class MachineConfig:
     def spawn_only(cls, threads: int = 8, **overrides) -> "MachineConfig":
         """The Section 5.7 'spawn only' machine (split window, no VP)."""
         return cls(mode=SimMode.SPAWN_ONLY, num_contexts=threads, **overrides)
+
+    @classmethod
+    def smt(cls, programs: int = 2, **overrides) -> "MachineConfig":
+        """``programs`` independent workloads co-scheduled over one core.
+
+        The multiprogrammed SMT substrate: every context runs its own
+        program, competing for the shared instruction queues, rename pool,
+        issue ports, fetch bandwidth and cache hierarchy.  No value
+        prediction, no speculation — the measurement is interference.
+        """
+        return cls(mode=SimMode.SMT, num_contexts=programs, **overrides)
+
+    @classmethod
+    def spmt(cls, threads: int = 8, **overrides) -> "MachineConfig":
+        """Prophet-style speculative multithreading on the Table 1 machine.
+
+        Threads spawn at control-flow boundaries ``spmt_skip`` instructions
+        ahead of the parent with pre-computed live-ins, and are squashed
+        when the spawning branch was mispredicted.
+        """
+        return cls(mode=SimMode.SPMT, num_contexts=threads, **overrides)
 
     @classmethod
     def wide_window(cls, **overrides) -> "MachineConfig":

@@ -31,6 +31,9 @@ class ThreadContext:
         "order",
         "pos",
         "start_pos",
+        "trace",
+        "trace_len",
+        "stream",
         "speculative",
         "parent",
         "children",
@@ -81,11 +84,23 @@ class ThreadContext:
             self.reg_ready = [0] * NUM_LOGICAL_REGS
             self.visible: tuple[int, ...] = (order,)
             self.bhist = 0
+            #: instruction stream this context executes; the engine assigns
+            #: root contexts their trace (roots are built before the engine
+            #: knows them), children inherit the parent's
+            self.trace: list | None = None
+            self.trace_len = 0
+            #: index of ``trace`` in the engine's trace list (0 except for
+            #: multi-program roots); what snapshots persist instead of the
+            #: trace itself
+            self.stream = 0
         else:
             # flash register-map copy (Section 3.2): ready times carry over
             self.reg_ready = parent.reg_ready.copy()
             self.visible = parent.visible + (order,)
             self.bhist = parent.bhist
+            self.trace = parent.trace
+            self.trace_len = parent.trace_len
+            self.stream = parent.stream
         self.rob: deque[int] = deque()
         self.last_fetch = start_time
         self.last_commit = start_time
@@ -124,6 +139,7 @@ class ThreadContext:
         "order",
         "pos",
         "start_pos",
+        "stream",
         "speculative",
         "last_fetch",
         "last_commit",
@@ -181,6 +197,10 @@ class ThreadContext:
         ctx.children = []
         ctx.spawn_record_as_child = None
         ctx.spawn_record_as_parent = None
+        # the engine re-binds the trace from the restored stream index; the
+        # shell starts unbound so a missed re-bind fails loudly
+        ctx.trace = None
+        ctx.trace_len = 0
         ctx.restore(data)
         return ctx
 

@@ -90,6 +90,10 @@ def batchable(engine) -> bool:
     """
     from repro.core.engine.scheduler import lockstep_eligible
 
+    if not engine.model.lockstep_safe:
+        # SPMT spawns on branches (the lockstep kernel only detects
+        # load-phase spawns) and SMT is multi-root from construction
+        return False
     cfg = engine.config
     if max(cfg.issue_width, cfg.int_issue, cfg.fp_issue, cfg.mem_issue) > 127:
         return False

@@ -14,7 +14,7 @@ import time
 
 from repro.branch import TwoBcGskewPredictor
 from repro.core.allocators import PortedIssue, SlotAllocator
-from repro.core.config import FetchPolicy, MachineConfig, SimMode
+from repro.core.config import FetchPolicy, MachineConfig
 from repro.core.context import ThreadContext
 from repro.core.engine.lifecycle import LifecycleMixin
 from repro.core.engine.measures import MeasureMixin
@@ -24,6 +24,7 @@ from repro.core.engine.scheduler import NO_LIMIT, SchedulerMixin
 from repro.core.engine.snapshot import SnapshotMixin
 from repro.core.engine.step import StepMixin
 from repro.core.engine.warmup import WarmupMixin
+from repro.core.modes import resolve_model
 from repro.core.stats import SimStats
 from repro.isa import Instruction
 from repro.memory import Cache, MemoryHierarchy, StoreBuffer, StridePrefetcher
@@ -72,10 +73,32 @@ class Engine(
         reference_scheduler: bool = False,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        traces: list[list[Instruction]] | None = None,
     ) -> None:
-        if not trace:
+        model = self.model = resolve_model(config.mode)
+        if traces is None:
+            traces = [trace]
+        else:
+            traces = list(traces)
+            if not traces:
+                raise ValueError("traces must not be empty")
+            trace = traces[0]
+        if any(not t for t in traces):
             raise ValueError("trace must not be empty")
+        if model.multi_program:
+            if len(traces) != config.num_contexts:
+                raise ValueError(
+                    f"{config.mode.value} runs one program per context: got "
+                    f"{len(traces)} trace(s) for {config.num_contexts} "
+                    f"context(s) (pass traces=[...], one per program)"
+                )
+        elif len(traces) != 1:
+            raise ValueError(
+                f"mode {config.mode.value} runs a single program; got "
+                f"{len(traces)} traces"
+            )
         self.trace = trace
+        self._traces = traces
         self.config = config
         self.reference_scheduler = reference_scheduler
         #: peak simultaneously-runnable contexts (reference scheduler only)
@@ -158,17 +181,30 @@ class Engine(
         self._commit_width = config.commit_width
         self._l1_latency = config.l1_latency
         self._smt_shared = config.smt_shared
-        self._vp_on = config.mode is not SimMode.BASELINE
+        # mode policy is a strategy object (repro.core.modes); its
+        # capability flags are hoisted here so the step kernel keeps
+        # reading plain attributes
+        self._vp_on = model.uses_value_prediction
         self._fetch_single = config.fetch_policy is FetchPolicy.SINGLE_FETCH_PATH
         self._mode = config.mode
-        self._spawn_capable = config.mode in (SimMode.MTVP, SimMode.SPAWN_ONLY)
+        self._spawn_capable = model.spawn_capable
+        self._branch_spawn = model.spawn_on_branches
+        self._priority_fn = model.context_priority
         self._multi_value = config.multi_value
         self._spawn_latency = config.spawn_latency
+        self._spmt_skip = config.spmt_skip
         self._reissue_penalty = config.reissue_penalty
         self._collect_multivalue = config.collect_multivalue
 
-        root = ThreadContext(slot=0, order=self._alloc_order(), pos=0)
-        self._contexts[0] = root
+        roots = []
+        for i, tr in enumerate(traces):
+            root = ThreadContext(slot=i, order=self._alloc_order(), pos=0)
+            root.trace = tr
+            root.trace_len = len(tr)
+            root.stream = i
+            self._contexts[i] = root
+            roots.append(root)
+        root = roots[0]
 
         #: live observability probe, or None.  The hot loop tests this one
         #: attribute per instruction; components carry the NULL_PROBE when
@@ -182,11 +218,12 @@ class Engine(
                 prefetcher.obs = obs
             self.branch_predictor.obs = obs
             self.predictor.obs = obs
-            obs.register_thread(root.order, "ctx0")
-            obs.context_count(0, 1)
+            for r in roots:
+                obs.register_thread(r.order, f"ctx{r.slot}")
+            obs.context_count(0, len(roots))
 
         if config.warm_caches:
-            self._warm_state(warm_addresses, root)
+            self._warm_state(warm_addresses, roots)
 
     # ------------------------------------------------------------------
     # small helpers
@@ -261,6 +298,8 @@ class Engine(
         )
         if self.reference_scheduler:
             self._run_scheduler_reference(stop_at)
+        elif self._priority_fn is not None:
+            self._run_scheduler_priority(stop_at)
         else:
             self._run_scheduler(stop_at)
         if self._has_work():
@@ -290,6 +329,7 @@ class Engine(
                 self._finish_time = ctx.last_within_commit
             self._flush_measures(ctx)
         self.stats.cycles = self._finish_time
+        self.model.finalize_stats(self)
 
     def _collect_component_stats(self) -> None:
         self.stats.level_counts = dict(self.hierarchy.level_counts)

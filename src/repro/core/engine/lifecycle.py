@@ -15,7 +15,6 @@ from repro.core.config import SimMode
 from repro.core.context import ThreadContext
 from repro.core.engine.records import SpawnRecord
 from repro.isa import Instruction
-from repro.select import PredictionKind
 
 
 class LifecycleMixin:
@@ -54,7 +53,7 @@ class LifecycleMixin:
             )
             child.reg_ready[inst.dst] = ready_time if kind is SimMode.MTVP else t_complete
             child.spawn_record_as_child = record
-            if child.pos >= self._trace_len:
+            if child.pos >= parent.trace_len:
                 # spawned on the final instruction: nothing left to run,
                 # the child only waits for its confirmation
                 child.done = True
@@ -78,22 +77,35 @@ class LifecycleMixin:
     # resolution
     # ------------------------------------------------------------------
     def _resolve_next(self) -> None:
+        """Resolve the earliest record on the time-ordered pending heap."""
         resolve_time, _seq, record = heappop(self._pending)
+        self._resolve_record(record, resolve_time)
+
+    def _resolve_record(self, record: SpawnRecord, resolve_time: int) -> None:
+        """Confirm or squash one outstanding spawn at ``resolve_time``.
+
+        Winner selection and statistics attribution are execution-model
+        policy (:mod:`repro.core.modes`); the context-graph surgery —
+        killing losers, retiring the parent, promoting the winner — is
+        shared mechanism and lives here.  Value-predicted spawns arrive
+        through :meth:`_resolve_next` when their load returns; SPMT spawns
+        arrive straight from the step kernel when the parent reaches the
+        child's start position.
+        """
         if record.void or not record.parent.alive:
             return
         parent = record.parent
         stats = self.stats
+        model = self.model
         obs = self._obs
         if obs is not None:
             obs.now = resolve_time
             obs.tid = parent.order
 
         winner: ThreadContext | None = None
-        winner_value = 0
         for child, value in record.children:
-            if child.alive and (record.kind is SimMode.SPAWN_ONLY or value == record.actual):
+            if child.alive and model.child_wins(record, child, value):
                 winner = child
-                winner_value = value
                 break
         losers = [
             child
@@ -106,12 +118,7 @@ class LifecycleMixin:
         if winner is None:
             # misprediction: parent resumes past the load; the speculative
             # progress made was useless, so ILP-pred sees zero
-            if record.kind is SimMode.MTVP:
-                stats.mtvp_incorrect += 1
-                self.predictor.record_outcome(False)
-            self.selector.record(
-                record.pc, PredictionKind.MTVP, 0, max(1, resolve_time - record.start_time)
-            )
+            model.on_mispredict(self, record, resolve_time)
             parent.blocked = False
             parent.pending_spawn = False
             parent.spawn_record_as_parent = None
@@ -128,17 +135,8 @@ class LifecycleMixin:
             return
 
         # confirmation: the parent retires, the winner carries on
-        if record.kind is SimMode.MTVP:
-            stats.mtvp_correct += 1
-            self.predictor.record_outcome(True)
         stats.confirms += 1
-        self.selector.record(
-            record.pc,
-            PredictionKind.MTVP,
-            max(0, self._global_fetched - record.start_global),
-            max(1, resolve_time - record.start_time),
-            committed=winner.within_commits,
-        )
+        model.on_confirm(self, record, winner, resolve_time)
         # parent's other children (spawned from its doomed post-load
         # stream under the no-stall policy) die with it
         for other in list(parent.children):
@@ -152,7 +150,6 @@ class LifecycleMixin:
                 max(1, resolve_time - record.start_time),
             )
             obs.context_count(resolve_time, len(self._alive_contexts()))
-        _ = winner_value
 
     def _retire_parent(
         self,

@@ -1,17 +1,22 @@
-"""The load-prediction path: decide on and apply a value prediction."""
+"""The load-prediction path: delegate to the bound execution model.
+
+The actual STVP/MTVP/spawn-only routing lives in strategy objects under
+:mod:`repro.core.modes` (see ``paper.py`` there); this mixin is the seam
+the step kernel calls through.  It exists as a method (rather than a
+direct bound-callable) so subclass engines and tests can still override
+or wrap the prediction path in one place.
+"""
 
 from __future__ import annotations
 
-from repro.core.config import SimMode
 from repro.core.context import ThreadContext
 from repro.core.engine.records import SpawnRecord
 from repro.isa import Instruction
 from repro.memory import MemLevel
-from repro.select import PredictionKind
 
 
 class PredictMixin:
-    """Chooses STVP / MTVP / nothing for each confidently-predicted load."""
+    """Routes each confidently-predicted load through the execution model."""
 
     def _handle_load_prediction(
         self,
@@ -25,101 +30,6 @@ class PredictMixin:
 
         Returns (destination ready time, spawn record or None).
         """
-        stats = self.stats
-        predictor = self.predictor
-        mode = self._mode
-        # every unpredicted load contributes a no-prediction episode so the
-        # ILP-pred baseline exists even for PCs that always hit the L1
-        # (those are exactly the loads it must learn not to spawn on)
-        worth_measuring = True
-
-        spawn_possible = (
-            self._spawn_capable
-            and not ctx.pending_spawn
-            and self._free_slot() is not None
+        return self.model.handle_load_prediction(
+            self, ctx, inst, t_queue, t_complete, expected_level
         )
-
-        if mode is SimMode.SPAWN_ONLY:
-            kind = self.selector.choose(inst, spawn_possible, expected_level)
-            if kind is not PredictionKind.MTVP or not spawn_possible:
-                if kind is PredictionKind.MTVP:
-                    stats.spawn_denied_no_context += 1
-                if worth_measuring:
-                    self._defer_measure(
-                        ctx, inst.pc, PredictionKind.NONE, t_queue, t_complete
-                    )
-                return t_complete, None
-            # spawn-only: the child waits for the real value (no VP)
-            if self._obs is not None:
-                self._obs.predict(
-                    t_queue, ctx.order, inst.pc, "spawn", inst.value or 0
-                )
-            record = self._spawn(
-                ctx, inst, [(inst.value or 0, t_complete)], t_queue, t_complete,
-                SimMode.SPAWN_ONLY,
-            )
-            return t_complete, record
-
-        prediction = predictor.predict(inst)
-        if prediction is None:
-            if worth_measuring:
-                self._defer_measure(ctx, inst.pc, PredictionKind.NONE, t_queue, t_complete)
-            return t_complete, None
-
-        if mode is SimMode.MTVP and not spawn_possible:
-            # a confident prediction arrived while every context was busy —
-            # the lost-opportunity statistic behind the thread-count studies
-            stats.spawn_denied_no_context += 1
-
-        kind = self.selector.choose(inst, spawn_possible, expected_level)
-        if mode is SimMode.STVP and kind is PredictionKind.MTVP:
-            kind = PredictionKind.STVP
-        if kind is PredictionKind.NONE:
-            stats.declined_predictions += 1
-            if worth_measuring:
-                self._defer_measure(ctx, inst.pc, PredictionKind.NONE, t_queue, t_complete)
-            return t_complete, None
-
-        # Figure 5 instrumentation: was the right value available even when
-        # the primary prediction is wrong?
-        if self._collect_multivalue:
-            stats.followed_predictions += 1
-            if prediction.value != inst.value:
-                candidates = predictor.predict_all(inst)
-                if any(p.value == inst.value for p in candidates):
-                    stats.primary_wrong_candidate_present += 1
-
-        if kind is PredictionKind.MTVP and not spawn_possible:
-            kind = PredictionKind.STVP
-
-        if kind is PredictionKind.STVP:
-            stats.stvp_predictions += 1
-            correct = prediction.value == inst.value
-            predictor.record_outcome(correct)
-            if self._obs is not None:
-                self._obs.predict(
-                    t_queue, ctx.order, inst.pc, "stvp", prediction.value
-                )
-                self._obs.stvp_outcome(t_complete, ctx.order, inst.pc, correct)
-            self._defer_measure(ctx, inst.pc, PredictionKind.STVP, t_queue, t_complete)
-            if correct:
-                stats.stvp_correct += 1
-                return t_queue, None
-            stats.stvp_incorrect += 1
-            # selective re-issue: dependents re-execute once the true value
-            # arrives; commit was never early, so only the dependents pay
-            return t_complete + self._reissue_penalty, None
-
-        # MTVP: spawn one thread per followed value (multi-value capable)
-        values: list[tuple[int, int]] = []
-        spawn_ready = t_queue + self._spawn_latency
-        if self._multi_value > 1:
-            for cand in predictor.predict_all(inst)[: self._multi_value]:
-                values.append((cand.value, spawn_ready))
-        else:
-            values.append((prediction.value, spawn_ready))
-        stats.mtvp_predictions += 1
-        if self._obs is not None:
-            self._obs.predict(t_queue, ctx.order, inst.pc, "mtvp", prediction.value)
-        record = self._spawn(ctx, inst, values, t_queue, t_complete, SimMode.MTVP)
-        return t_complete, record

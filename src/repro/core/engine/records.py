@@ -46,6 +46,7 @@ class SpawnRecord:
         "load_commit_time",
         "kind",
         "void",
+        "resolve_pos",
     )
 
     def __init__(
@@ -69,3 +70,6 @@ class SpawnRecord:
         self.load_commit_time = 0
         self.kind = kind
         self.void = False
+        #: SPMT only: trace position whose reach by the parent resolves
+        #: this record (position-triggered, not on the time-ordered heap)
+        self.resolve_pos = 0

@@ -136,6 +136,49 @@ class SchedulerMixin:
                     break
                 step(c)
 
+    def _run_scheduler_priority(self, stop_at: int = NO_LIMIT) -> None:
+        """Time-ordered scheduling with a model-supplied fairness tie-break.
+
+        Used when the bound execution model defines ``context_priority``
+        (the SMT co-schedule): among runnable contexts the earliest time
+        hint still wins — stepping out of time order would change shared
+        allocator bookings — but ties resolve by the model's priority
+        (ICOUNT-style: fewest fetched instructions first) before slot
+        order, so independent programs share fetch bandwidth fairly when
+        their clocks synchronize on a shared structural stall.
+        """
+        prio = self._priority_fn
+        contexts = self._contexts
+        pending = self._pending
+        while self._global_fetched < stop_at:
+            best = None
+            best_key = None
+            for c in contexts:
+                if (
+                    c is None
+                    or not c.alive
+                    or c.blocked
+                    or c.sb_paused
+                    or c.done
+                ):
+                    continue
+                hint = c.last_fetch
+                if c.resume_at > hint:
+                    hint = c.resume_at
+                key = (hint, prio(c), c.slot)
+                if best is None or key < best_key:
+                    best = c
+                    best_key = key
+            if best is None:
+                if pending:
+                    self._resolve_next()
+                    continue
+                return
+            if pending and pending[0][0] <= best_key[0]:
+                self._resolve_next()
+                continue
+            self._step(best)
+
     def _run_scheduler_reference(self, stop_at: int = NO_LIMIT) -> None:
         """The original rebuild-everything scheduler, kept for A/B tests.
 

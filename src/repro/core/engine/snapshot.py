@@ -127,6 +127,7 @@ class SnapshotMixin:
                 "load_commit_time": rec.load_commit_time,
                 "kind": rec.kind.value,
                 "void": rec.void,
+                "resolve_pos": rec.resolve_pos,
             }
             for rec in records
         ]
@@ -270,6 +271,10 @@ class SnapshotMixin:
         ctx_by_order: dict[int, ThreadContext] = {}
         for entry in data["contexts"]:
             ctx = ThreadContext.from_snapshot(entry)
+            # contexts persist their stream index, not the trace itself;
+            # re-bind against this engine's (identical) trace list
+            ctx.trace = self._traces[ctx.stream]
+            ctx.trace_len = len(ctx.trace)
             ctx_by_order[ctx.order] = ctx
         records: list[SpawnRecord] = []
         for rd in data["records"]:
@@ -286,6 +291,7 @@ class SnapshotMixin:
             rec.load_commit_time = rd["load_commit_time"]
             rec.kind = SimMode(rd["kind"])
             rec.void = rd["void"]
+            rec.resolve_pos = rd.get("resolve_pos", 0)
             records.append(rec)
         for entry in data["contexts"]:
             ctx = ctx_by_order[entry["order"]]

@@ -66,7 +66,7 @@ class StepMixin:
         §5c).  Every decision is bit-identical to the straightforward
         form this replaced.
         """
-        inst = self.trace[ctx.pos]
+        inst = ctx.trace[ctx.pos]
         op = inst.op
 
         # --- speculative store gating: never start a store the buffer
@@ -166,6 +166,13 @@ class StepMixin:
                     redirect = t_complete + 1
                     if redirect > ctx.resume_at:
                         ctx.resume_at = redirect
+                if self._branch_spawn:
+                    # SPMT family: offer this control-flow boundary to the
+                    # execution model as a spawn point
+                    self.model.on_branch(
+                        self, ctx, inst, t_queue, t_complete,
+                        predicted == inst.taken,
+                    )
 
         # --- writeback
         if writes_reg:
@@ -215,7 +222,13 @@ class StepMixin:
         if t_fetch >= ctx.measures_min_end:
             self._finalize_measures(ctx, t_fetch)
         ctx.pos += 1
-        if ctx.pos >= self._trace_len:
+        if ctx.pos >= ctx.trace_len:
             ctx.done = True
         if spawn_record is not None and self._fetch_single:
             ctx.blocked = True
+        if self._branch_spawn:
+            # SPMT resolution is position-triggered: the spawn resolves the
+            # moment the parent has executed the whole skipped region
+            record = ctx.spawn_record_as_parent
+            if record is not None and ctx.pos >= record.resolve_pos:
+                self._resolve_record(record, t_commit)

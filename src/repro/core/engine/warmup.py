@@ -26,7 +26,7 @@ from repro.isa import OpClass
 class WarmupMixin:
     """Architectural-only trace replay: warm start and fast-forward."""
 
-    def _warm_state(self, addresses, root: ThreadContext) -> None:
+    def _warm_state(self, addresses, roots: list[ThreadContext]) -> None:
         """SimPoint-style warm start for long-lived microarchitectural state.
 
         A SimPoint window begins mid-execution, with caches, branch
@@ -51,31 +51,37 @@ class WarmupMixin:
             hierarchy.reset_stats()
         bp = self.branch_predictor
         vp = self.predictor
-        hist = 0
-        for inst in self.trace:
-            if inst.op is OpClass.BRANCH:
-                bp.update(inst.pc, hist, inst.taken)
-                hist = update_history(hist, inst.taken)
-            elif inst.op is OpClass.LOAD and inst.value is not None:
-                vp.train(inst, inst.value)
-        # extra value-predictor passes: confidence counters (+1 per hit)
-        # need far more history than one short trace to reach the steady
-        # state a 100M-instruction run would have — minority pattern values
-        # gain confidence a point at a time and need several hundred
-        # sightings per static load before their counters mean anything.
-        # scale the replay count so each static load sees ~800 trainings.
-        load_insts = [
-            inst
-            for inst in self.trace
-            if inst.op is OpClass.LOAD and inst.value is not None
-        ]
-        if load_insts:
-            per_pc = len(load_insts) / max(1, len({i.pc for i in load_insts}))
-            passes = min(40, max(1, round(800 / per_pc) - 1))
-            for _ in range(passes):
-                for inst in load_insts:
+        # one functional pass per program: single-program engines have one
+        # root over self.trace (the historical behaviour, bit for bit),
+        # multi-program co-schedules train the shared tables from every
+        # stream — itself a realistic interference channel
+        for root in roots:
+            hist = 0
+            for inst in root.trace:
+                if inst.op is OpClass.BRANCH:
+                    bp.update(inst.pc, hist, inst.taken)
+                    hist = update_history(hist, inst.taken)
+                elif inst.op is OpClass.LOAD and inst.value is not None:
                     vp.train(inst, inst.value)
-        root.bhist = hist
+            # extra value-predictor passes: confidence counters (+1 per hit)
+            # need far more history than one short trace to reach the steady
+            # state a 100M-instruction run would have — minority pattern
+            # values gain confidence a point at a time and need several
+            # hundred sightings per static load before their counters mean
+            # anything.  scale the replay count so each static load sees
+            # ~800 trainings.
+            load_insts = [
+                inst
+                for inst in root.trace
+                if inst.op is OpClass.LOAD and inst.value is not None
+            ]
+            if load_insts:
+                per_pc = len(load_insts) / max(1, len({i.pc for i in load_insts}))
+                passes = min(40, max(1, round(800 / per_pc) - 1))
+                for _ in range(passes):
+                    for inst in load_insts:
+                        vp.train(inst, inst.value)
+            root.bhist = hist
         vp.lookups = 0
         vp.predictions = 0
         vp.correct = 0
@@ -106,6 +112,11 @@ class WarmupMixin:
         """
         if self._started:
             raise RuntimeError("fast_forward() must run before Engine.run()")
+        if self.model.multi_program:
+            raise RuntimeError(
+                "fast_forward() advances the single root context; "
+                "multi-program co-schedules have no single warmup stream"
+            )
         if n < 0:
             raise ValueError("fast-forward distance must be non-negative")
         root = self._contexts[0]

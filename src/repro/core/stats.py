@@ -42,6 +42,12 @@ class SimStats:
     kills: int = 0
     spawn_denied_no_context: int = 0
     store_buffer_stalls: int = 0
+    # speculative multithreading (SPMT mode only; zero elsewhere)
+    spmt_spawns: int = 0
+    spmt_squashes: int = 0
+    #: per-program attribution rows (SMT co-schedule mode only): one dict
+    #: per root context with its stream index, commits, cycles and IPC
+    per_context: list = dataclasses.field(default_factory=list)
     # front end
     branches: int = 0
     branch_mispredicts: int = 0
@@ -147,6 +153,13 @@ class SimStats:
             # same byte-compat trick: full (non-warmed) runs serialize
             # without the interval-accounting key at all
             del out["warmup_instructions"]
+        if not out["spmt_spawns"] and not out["spmt_squashes"]:
+            # mode-specific sections appear only when the mode produced
+            # them, keeping every pre-existing golden digest byte-identical
+            del out["spmt_spawns"]
+            del out["spmt_squashes"]
+        if not out["per_context"]:
+            del out["per_context"]
         out["level_counts"] = {
             level.name.lower(): count for level, count in self.level_counts.items()
         }

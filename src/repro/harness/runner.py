@@ -192,12 +192,22 @@ def simulate_batch(
 
     Observed specs (``observe=True``) always take the scalar path: probes
     are per-step side effects the batched replay does not reproduce, and
-    the engine correctly refuses to batch them.
+    the engine correctly refuses to batch them.  So do specs whose
+    execution model is not lockstep-safe (SMT co-schedules are multi-root
+    and need their per-context trace fan-out; SPMT spawns on branches,
+    which the lockstep kernel cannot replay) — routing them through
+    :meth:`RunSpec.run` keeps the multi-program trace construction in one
+    place.
     """
     from repro.core.engine.batch import run_lockstep
+    from repro.core.modes import resolve_model
 
     n = length or default_length()
-    if len(seeds) < 2 or spec.observe:
+    if (
+        len(seeds) < 2
+        or spec.observe
+        or not resolve_model(spec.config_factory().mode).lockstep_safe
+    ):
         return [
             spec.run(workload_name, n, s, checkpoints=checkpoints)
             for s in seeds

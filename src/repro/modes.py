@@ -1,0 +1,35 @@
+"""Top-level alias for the execution-model registry.
+
+``repro.modes`` is the public spelling; the implementation lives in
+:mod:`repro.core.modes` next to the engine it parameterizes.
+"""
+
+from __future__ import annotations
+
+from repro.core.modes import (
+    MODELS,
+    BaselineModel,
+    ExecutionModel,
+    MtvpModel,
+    SmtModel,
+    SpawnOnlyModel,
+    SpmtModel,
+    StvpModel,
+    get,
+    names,
+    resolve_model,
+)
+
+__all__ = [
+    "BaselineModel",
+    "ExecutionModel",
+    "MODELS",
+    "MtvpModel",
+    "SmtModel",
+    "SpawnOnlyModel",
+    "SpmtModel",
+    "StvpModel",
+    "get",
+    "names",
+    "resolve_model",
+]

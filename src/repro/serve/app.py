@@ -316,9 +316,42 @@ class CampaignServer:
                 "capacity": self.manager._queue.maxsize,
                 "workers": self.manager.workers,
             },
+            "searches": self._search_stats(),
         }
         out.update(self.runner.stats())
         return out
+
+    def _search_stats(self) -> list[dict]:
+        """One row per search campaign this server has seen, oldest first.
+
+        Surfaces the adaptive-search jobs in ``/stats`` so operators can
+        see at a glance which campaigns ran, where their result databases
+        live, their live per-status row counts, and (once finished) the
+        winning design point.
+        """
+        rows = []
+        for job in self.manager.jobs():
+            if job.kind != "search":
+                continue
+            row: dict = {
+                "id": job.id,
+                "status": job.status,
+                "name": (
+                    job.data.get("search")
+                    or job.payload.get("spec", {}).get("name")
+                ),
+            }
+            db = job.data.get("db")
+            if db:
+                row["db"] = db
+            counts = self.runner.partial(job)
+            if counts:
+                row["rows"] = counts
+            if job.status == "done" and isinstance(job.result, dict):
+                row["winner"] = job.result.get("winner")
+                row["complete"] = job.result.get("complete")
+            rows.append(row)
+        return rows
 
 
 class BackgroundServer:

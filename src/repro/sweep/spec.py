@@ -60,10 +60,12 @@ PRESETS: dict[str, Callable[..., MachineConfig]] = {
     "cmp": MachineConfig.cmp,
     "spawn-only": MachineConfig.spawn_only,
     "wide-window": MachineConfig.wide_window,
+    "smt": MachineConfig.smt,
+    "spmt": MachineConfig.spmt,
 }
 
-#: presets whose first argument is a context/core count
-_THREADED_PRESETS = {"mtvp", "cmp", "spawn-only"}
+#: presets whose first argument is a context/core/program count
+_THREADED_PRESETS = {"mtvp", "cmp", "spawn-only", "smt", "spmt"}
 
 #: recipe keys that are not MachineConfig overrides
 SPECIAL_KEYS = ("machine", "threads", "predictor", "selector")

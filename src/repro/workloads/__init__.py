@@ -13,6 +13,14 @@ the suite, and :meth:`Workload.trace` to materialize instructions.
 """
 
 from repro.workloads.generator import Workload
+from repro.workloads.io import (
+    TraceFormatError,
+    TraceSet,
+    iter_trace,
+    load_trace,
+    load_trace_set,
+    save_trace,
+)
 from repro.workloads.spec import (
     AddressPattern,
     BranchModel,
@@ -38,10 +46,16 @@ __all__ = [
     "SPEC_FP",
     "SPEC_INT",
     "StreamSpec",
+    "TraceFormatError",
+    "TraceSet",
     "ValueClass",
     "ValueMix",
     "Workload",
     "WorkloadSpec",
     "get_workload",
+    "iter_trace",
+    "load_trace",
+    "load_trace_set",
+    "save_trace",
     "workload_names",
 ]

@@ -13,7 +13,18 @@ from repro.harness.export import (
     stats_to_dict,
 )
 from repro.workloads import get_workload
-from repro.workloads.io import load_trace, save_trace
+from repro.workloads.io import (
+    _HEADER,
+    _MAGIC,
+    _RECORD,
+    _VERSION,
+    TraceFormatError,
+    TraceSet,
+    iter_trace,
+    load_trace,
+    load_trace_set,
+    save_trace,
+)
 
 
 def sample_result():
@@ -89,6 +100,115 @@ class TestTraceIo:
         path.write_bytes(b"RV")
         with pytest.raises(ValueError, match="too short"):
             load_trace(path)
+
+
+def _raw_file(tmp_path, records: list[bytes]) -> "object":
+    """A trace file from hand-packed record bytes (bypassing save_trace)."""
+    path = tmp_path / "raw.trace"
+    path.write_bytes(
+        _HEADER.pack(_MAGIC, _VERSION, len(records)) + b"".join(records)
+    )
+    return path
+
+
+class TestTraceIngestion:
+    """The hardened ingestion layer: streaming, validation, TraceSet."""
+
+    def test_roundtrip_every_opclass(self, tmp_path, builder):
+        from repro.isa import OpClass
+
+        trace = [
+            builder.int_alu(dst=1),
+            builder.int_mul(dst=2, srcs=(1,)),
+            builder.fp_alu(dst=3, srcs=(2,)),
+            builder.fp_mul(dst=4, srcs=(3, 2)),
+            builder.load(dst=5, addr=0x4000, value=77),
+            builder.store(addr=0x4040, srcs=(5,), value=77),
+            builder.branch(taken=True, srcs=(1,)),
+        ]
+        assert {i.op for i in trace} == set(OpClass)
+        path = tmp_path / "all.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        for a, b in zip(trace, loaded):
+            assert (a.pc, a.op, a.srcs, a.dst, a.addr, a.value, a.taken) == (
+                b.pc, b.op, b.srcs, b.dst, b.addr, b.value, b.taken,
+            )
+
+    def test_iter_trace_streams(self, tmp_path, builder):
+        trace = [builder.int_alu(dst=1) for _ in range(30)]
+        path = tmp_path / "s.trace"
+        save_trace(trace, path)
+        it = iter_trace(path)
+        assert next(it).op is trace[0].op
+        assert sum(1 for _ in it) == 29
+
+    def test_unknown_opclass_names_the_record(self, tmp_path):
+        good = _RECORD.pack(0x1000, 0, 1, 0, 0, b"\0\0\0", 0, 0, 0, 0)
+        bad = _RECORD.pack(0x1004, 99, 1, 0, 0, b"\0\0\0", 0, 0, 0, 0)
+        path = _raw_file(tmp_path, [good, bad])
+        with pytest.raises(TraceFormatError, match="record 1: unknown op class 99"):
+            load_trace(path)
+
+    def test_register_out_of_range_names_the_record(self, tmp_path):
+        bad = _RECORD.pack(0x1000, 0, 80, 0, 0, b"\0\0\0", 0, 0, 0, 0)
+        path = _raw_file(tmp_path, [bad])
+        with pytest.raises(TraceFormatError, match="record 0: .*register 80"):
+            load_trace(path)
+
+    def test_source_count_overflow_rejected(self, tmp_path):
+        bad = _RECORD.pack(0x1000, 0, 1, 4, 0, b"\1\2\3", 0, 0, 0, 0)
+        path = _raw_file(tmp_path, [bad])
+        with pytest.raises(TraceFormatError, match="source count 4"):
+            load_trace(path)
+
+    def test_memory_op_without_address_rejected(self, tmp_path):
+        bad = _RECORD.pack(0x1000, 4, 1, 0, 0, b"\0\0\0", 0, 0, 0, 0)
+        path = _raw_file(tmp_path, [bad])
+        with pytest.raises(TraceFormatError, match="LOAD without an address"):
+            load_trace(path)
+
+    def test_branch_without_outcome_rejected(self, tmp_path):
+        bad = _RECORD.pack(0x1000, 6, -1, 0, 0, b"\0\0\0", 0, 0, 0, 0)
+        path = _raw_file(tmp_path, [bad])
+        with pytest.raises(TraceFormatError, match="BRANCH without a taken"):
+            load_trace(path)
+
+    def test_trailing_bytes_rejected(self, tmp_path, builder):
+        path = tmp_path / "t.trace"
+        save_trace([builder.int_alu(dst=1)], path)
+        path.write_bytes(path.read_bytes() + b"\x00" * 8)
+        with pytest.raises(TraceFormatError, match="trailing bytes"):
+            load_trace(path)
+
+    def test_error_is_still_a_value_error(self, tmp_path):
+        path = tmp_path / "j.trace"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_load_trace_set(self, tmp_path, builder):
+        a = [builder.int_alu(dst=1) for _ in range(5)]
+        b = [builder.int_alu(dst=2) for _ in range(7)]
+        save_trace(a, tmp_path / "first.trace")
+        save_trace(b, tmp_path / "second.trace")
+        ts = load_trace_set(
+            [tmp_path / "first.trace", tmp_path / "second.trace"]
+        )
+        assert len(ts) == 2
+        assert ts.labels == ("first", "second")
+        assert ts.name == "first+second"
+        assert [len(t) for t in ts.traces] == [5, 7]
+
+    def test_trace_set_validation(self):
+        with pytest.raises(ValueError, match="at least one trace"):
+            TraceSet(name="x", traces=(), labels=())
+        with pytest.raises(ValueError, match="one-to-one"):
+            TraceSet(name="x", traces=([],), labels=("a", "b"))
+
+    def test_load_trace_set_needs_paths(self):
+        with pytest.raises(ValueError, match="at least one path"):
+            load_trace_set([])
 
 
 class TestExport:
@@ -167,3 +287,58 @@ class TestCli:
         assert code == 0
         assert out_path.exists()
         assert len(load_trace(out_path)) == 300
+
+    def test_run_mode_alias(self, capsys):
+        code, out = self.run_cli(
+            ["run", "mcf", "--mode", "spmt", "--threads", "4",
+             "--length", "500"], capsys
+        )
+        assert code == 0
+        assert "useful IPC" in out
+
+    def test_run_ingested_traces_smt(self, tmp_path, capsys):
+        for i in range(2):
+            self.run_cli(
+                ["trace", "mcf", str(tmp_path / f"p{i}.trace"),
+                 "--length", "400", "--seed", str(i)], capsys
+            )
+        code, out = self.run_cli(
+            ["run", "--traces", str(tmp_path / "p0.trace"),
+             str(tmp_path / "p1.trace"), "--machine", "smt",
+             "--threads", "2"], capsys
+        )
+        assert code == 0
+        assert "ctx 0 [p0]" in out and "ctx 1 [p1]" in out
+
+    def test_run_ingested_single_trace(self, tmp_path, capsys):
+        self.run_cli(
+            ["trace", "crafty", str(tmp_path / "c.trace"),
+             "--length", "300"], capsys
+        )
+        code, out = self.run_cli(
+            ["run", "--traces", str(tmp_path / "c.trace"),
+             "--machine", "baseline"], capsys
+        )
+        assert code == 0
+        assert "useful IPC" in out
+
+    def test_run_traces_reject_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trace"
+        bad.write_bytes(b"NOPE" + b"\x00" * 60)
+        code, out = self.run_cli(
+            ["run", "--traces", str(bad), "--machine", "baseline"], capsys
+        )
+        assert code == 1
+        assert "cannot ingest traces" in out
+
+    def test_run_traces_and_workload_conflict(self, tmp_path, capsys):
+        code, out = self.run_cli(
+            ["run", "mcf", "--traces", "x.trace"], capsys
+        )
+        assert code == 1
+        assert "give one or the other" in out
+
+    def test_run_without_workload_or_traces(self, capsys):
+        code, out = self.run_cli(["run"], capsys)
+        assert code == 1
+        assert "workload name is required" in out

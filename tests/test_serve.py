@@ -340,6 +340,42 @@ class TestServiceE2E:
         assert ack3["deduped"] and ack3["job"] == ack["job"]
         assert server.runner.cache.hits >= hits_before
 
+    def test_new_execution_modes_run_via_post(self, service):
+        _, client = service
+        ack = client.submit_run({
+            "workload": "mcf", "length": 400,
+            "params": {"machine": "smt", "threads": 2},
+        })
+        snap = client.wait(ack["job"], timeout=120.0)
+        assert snap["status"] == "done", snap.get("error")
+        stats = snap["result"]["stats"]
+        assert len(stats["per_context"]) == 2
+        assert stats["useful_instructions"] == 800
+
+        ack = client.submit_run({
+            "workload": "mcf", "length": 600,
+            "params": {"machine": "spmt", "threads": 4, "spmt_skip": 16},
+        })
+        snap = client.wait(ack["job"], timeout=120.0)
+        assert snap["status"] == "done", snap.get("error")
+        stats = snap["result"]["stats"]
+        assert stats["spmt_spawns"] > 0
+        assert stats["useful_instructions"] == 600
+
+    def test_stats_surfaces_search_campaigns(self, service):
+        _, client = service
+        ack = client.submit_search({"spec": SMALL_SEARCH})
+        snap = client.wait(ack["job"], timeout=120.0)
+        assert snap["status"] == "done", snap.get("error")
+        searches = client.stats()["searches"]
+        row = next(r for r in searches if r["id"] == ack["job"])
+        assert row["status"] == "done"
+        assert row["name"] == "e2e-search"
+        assert row["db"].endswith(".db")
+        assert row["rows"]["total"] > 0
+        assert row["complete"] is True
+        assert row["winner"]
+
     def test_event_stream_is_wellformed_ndjson(self, service):
         server, client = service
         payload = {"workload": "mcf", "length": 300, "seed": 11}
